@@ -1,0 +1,96 @@
+// Reproduces the paper's Figure 2: the four stages at which a file
+// system's configuration state changes — create (mke2fs), mount (mount),
+// online (e4defrag), offline (resize2fs / e2fsck) — driven end-to-end on
+// the simulator, reporting the configuration-state change at each stage.
+#include <cstdio>
+
+#include "fsim/defrag.h"
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/resize.h"
+
+using namespace fsdep::fsim;
+
+namespace {
+
+void stage(const char* name, const char* utility, const std::string& effect) {
+  std::printf("  %-8s | %-10s | %s\n", name, utility, effect.c_str());
+}
+
+std::string describe(const Superblock& sb) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "blocks=%u free=%u inodes=%u mounts=%u state=%s",
+                sb.blocks_count, sb.free_blocks_count, sb.inodes_count, sb.mount_count,
+                (sb.state & kStateValid) ? "clean" : "dirty");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Figure 2: the four configuration stages of an FS ecosystem\n");
+  std::printf("  %-8s | %-10s | %s\n", "stage", "utility", "configuration state after the stage");
+  std::puts(std::string(96, '-').c_str());
+
+  BlockDevice device(16384, 1024);
+  FsImage image(device);
+
+  // (1) Create.
+  MkfsOptions mo;
+  mo.block_size = 1024;
+  mo.size_blocks = 4096;
+  mo.blocks_per_group = 1024;
+  mo.inode_ratio = 8192;
+  mo.label = "fig2demo";
+  const auto formatted = MkfsTool::format(device, mo);
+  if (!formatted.ok()) {
+    std::fprintf(stderr, "mkfs failed: %s\n", formatted.error().message.c_str());
+    return 1;
+  }
+  stage("create", "mke2fs", describe(image.loadSuperblock()));
+
+  // (2) Mount (+ use: files appear, some fragmented).
+  {
+    auto mounted = MountTool::mount(device, MountOptions{});
+    if (!mounted.ok()) {
+      std::fprintf(stderr, "mount failed: %s\n", mounted.error().message.c_str());
+      return 1;
+    }
+    for (int i = 0; i < 4; ++i) {
+      (void)mounted.value().createFile(6144, 2);
+    }
+    stage("mount", "mount", describe(image.loadSuperblock()));
+
+    // (3) Online: defragment while mounted.
+    const auto defrag = DefragTool::run(mounted.value(), device, DefragOptions{});
+    if (!defrag.ok()) {
+      std::fprintf(stderr, "defrag failed: %s\n", defrag.error().message.c_str());
+      return 1;
+    }
+    char effect[160];
+    std::snprintf(effect, sizeof(effect), "%s | defragmented %u files (avg extents %.2f -> %.2f)",
+                  describe(image.loadSuperblock()).c_str(), defrag.value().defragmented,
+                  defrag.value().averageExtentsBefore(), defrag.value().averageExtentsAfter());
+    stage("online", "e4defrag", effect);
+    mounted.value().unmount();
+  }
+
+  // (4) Offline: resize, then check.
+  ResizeOptions ro;
+  ro.new_size_blocks = 6144;
+  ro.fix_sparse_super2_accounting = true;
+  if (!ResizeTool::resize(device, ro).ok()) {
+    std::fprintf(stderr, "resize failed\n");
+    return 1;
+  }
+  stage("offline", "resize2fs", describe(image.loadSuperblock()));
+
+  const auto fsck = FsckTool::check(device, FsckOptions{.force = true});
+  stage("offline", "e2fsck",
+        describe(image.loadSuperblock()) + " | " + (fsck.ok() ? fsck.value().summary() : "error"));
+
+  std::puts("\nEvery stage rewrote shared metadata that the next stage's configuration");
+  std::puts("handling depends on — the structural root of cross-component dependencies.");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Performance benchmarks (google-benchmark) for the analysis pipeline and
+// the simulator — the paper lists "overhead" as a future evaluation
+// metric (§6); these benches supply it for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "corpus/pipeline.h"
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/resize.h"
+#include "lex/preprocessor.h"
+
+using namespace fsdep;
+
+namespace {
+
+// --- Frontend ---------------------------------------------------------
+
+void BM_LexMke2fs(benchmark::State& state) {
+  const std::string source(corpus::componentSource("mke2fs"));
+  for (auto _ : state) {
+    SourceManager sm;
+    DiagnosticEngine diags;
+    const FileId file = sm.addBuffer("mke2fs.c", source);
+    lex::Preprocessor pp(sm, diags, [](std::string_view h) { return corpus::headerSource(h); });
+    benchmark::DoNotOptimize(pp.tokenize(file));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * source.size()));
+}
+BENCHMARK(BM_LexMke2fs);
+
+void BM_ParseComponent(benchmark::State& state, const char* component) {
+  const std::string source(corpus::componentSource(component));
+  for (auto _ : state) {
+    SourceManager sm;
+    DiagnosticEngine diags;
+    const FileId file = sm.addBuffer("c.c", source);
+    lex::Preprocessor pp(sm, diags, [](std::string_view h) { return corpus::headerSource(h); });
+    ast::Parser parser(pp.tokenize(file), diags);
+    benchmark::DoNotOptimize(parser.parseTranslationUnit("c.c"));
+  }
+}
+BENCHMARK_CAPTURE(BM_ParseComponent, mke2fs, "mke2fs");
+BENCHMARK_CAPTURE(BM_ParseComponent, ext4, "ext4");
+BENCHMARK_CAPTURE(BM_ParseComponent, resize2fs, "resize2fs");
+
+// --- Taint analysis ---------------------------------------------------
+
+void BM_TaintAnalysis(benchmark::State& state, bool inter) {
+  taint::AnalysisOptions options;
+  options.inter_procedural = inter;
+  corpus::AnalyzedComponent component("mke2fs", options);
+  for (auto _ : state) {
+    component.analyze({});
+    benchmark::DoNotOptimize(component.analyzer().writeEvents());
+  }
+}
+BENCHMARK_CAPTURE(BM_TaintAnalysis, intra, false);
+BENCHMARK_CAPTURE(BM_TaintAnalysis, inter, true);
+
+// --- End-to-end extraction --------------------------------------------
+
+void BM_ScenarioExtraction(benchmark::State& state) {
+  const auto scenarios = corpus::scenarios();
+  const corpus::Scenario& s3 = scenarios.at(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::runScenario(s3));
+  }
+}
+BENCHMARK(BM_ScenarioExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_FullTable5(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::runTable5());
+  }
+}
+BENCHMARK(BM_FullTable5)->Unit(benchmark::kMillisecond);
+
+// --- Simulator --------------------------------------------------------
+
+void BM_Mkfs(benchmark::State& state) {
+  const auto size_blocks = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    fsim::BlockDevice device(size_blocks + 64, 1024);
+    fsim::MkfsOptions o;
+    o.block_size = 1024;
+    o.size_blocks = size_blocks;
+    o.blocks_per_group = 1024;
+    o.inode_ratio = 8192;
+    benchmark::DoNotOptimize(fsim::MkfsTool::format(device, o));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * size_blocks * 1024);
+}
+BENCHMARK(BM_Mkfs)->Arg(2048)->Arg(8192)->Arg(16384);
+
+void BM_ResizeGrow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    fsim::BlockDevice device(16384, 1024);
+    fsim::MkfsOptions o;
+    o.block_size = 1024;
+    o.size_blocks = 4096;
+    o.blocks_per_group = 1024;
+    o.inode_ratio = 8192;
+    (void)fsim::MkfsTool::format(device, o);
+    state.ResumeTiming();
+
+    fsim::ResizeOptions ro;
+    ro.new_size_blocks = 12288;
+    ro.fix_sparse_super2_accounting = true;
+    benchmark::DoNotOptimize(fsim::ResizeTool::resize(device, ro));
+  }
+}
+BENCHMARK(BM_ResizeGrow)->Unit(benchmark::kMicrosecond);
+
+void BM_FsckFullCheck(benchmark::State& state) {
+  fsim::BlockDevice device(16384, 1024);
+  fsim::MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 8192;
+  o.blocks_per_group = 1024;
+  o.inode_ratio = 8192;
+  (void)fsim::MkfsTool::format(device, o);
+  {
+    auto mounted = fsim::MountTool::mount(device, fsim::MountOptions{});
+    if (mounted.ok()) {
+      for (int i = 0; i < 8; ++i) (void)mounted.value().createFile(4096, 2);
+      mounted.value().unmount();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim::FsckTool::check(device, fsim::FsckOptions{.force = true}));
+  }
+}
+BENCHMARK(BM_FsckFullCheck)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

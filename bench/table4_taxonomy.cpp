@@ -1,0 +1,15 @@
+// Regenerates Table 4 of the paper: the taxonomy of critical multi-level
+// configuration dependencies derived from the bug study.
+//
+// Paper reference values: SD type 33, SD range 30, CPD control 4,
+// CPD value 0 (unobserved), CCD control 1, CCD value 0 (unobserved),
+// CCD behavioral 64 — 132 critical dependencies total.
+#include <cstdio>
+
+#include "study/bug_study.h"
+
+int main() {
+  std::fputs(fsdep::study::formatTable4().c_str(), stdout);
+  std::puts("\nPaper reference: 33 / 30 / 4 / 0 / 1 / 0 / 64 = 132 (5 of 7 sub-categories observed)");
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "ast/ast.h"
+
+namespace fsdep::ast {
+
+std::string TypeSpec::spelling() const {
+  std::string out;
+  if (is_const) out += "const ";
+  if (is_unsigned) out += "unsigned ";
+  switch (base) {
+    case BaseTypeKind::Void: out += "void"; break;
+    case BaseTypeKind::Char: out += "char"; break;
+    case BaseTypeKind::Short: out += "short"; break;
+    case BaseTypeKind::Int: out += "int"; break;
+    case BaseTypeKind::Long: out += "long"; break;
+    case BaseTypeKind::LongLong: out += "long long"; break;
+    case BaseTypeKind::Struct: out += "struct " + name; break;
+    case BaseTypeKind::Enum: out += "enum " + name; break;
+    case BaseTypeKind::Typedef: out += name; break;
+  }
+  for (int i = 0; i < pointer_depth; ++i) out += '*';
+  if (is_array) {
+    out += '[';
+    if (array_size > 0) out += std::to_string(array_size);
+    out += ']';
+  }
+  return out;
+}
+
+bool isAssignment(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Assign:
+    case BinaryOp::AddAssign:
+    case BinaryOp::SubAssign:
+    case BinaryOp::MulAssign:
+    case BinaryOp::DivAssign:
+    case BinaryOp::RemAssign:
+    case BinaryOp::AndAssign:
+    case BinaryOp::OrAssign:
+    case BinaryOp::XorAssign:
+    case BinaryOp::ShlAssign:
+    case BinaryOp::ShrAssign:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* unaryOpSpelling(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::Not: return "!";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::Deref: return "*";
+    case UnaryOp::AddrOf: return "&";
+    case UnaryOp::PreInc: return "++";
+    case UnaryOp::PreDec: return "--";
+    case UnaryOp::PostInc: return "++";
+    case UnaryOp::PostDec: return "--";
+    case UnaryOp::SizeofExpr: return "sizeof";
+  }
+  return "?";
+}
+
+const char* binaryOpSpelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::LogicalAnd: return "&&";
+    case BinaryOp::LogicalOr: return "||";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Assign: return "=";
+    case BinaryOp::AddAssign: return "+=";
+    case BinaryOp::SubAssign: return "-=";
+    case BinaryOp::MulAssign: return "*=";
+    case BinaryOp::DivAssign: return "/=";
+    case BinaryOp::RemAssign: return "%=";
+    case BinaryOp::AndAssign: return "&=";
+    case BinaryOp::OrAssign: return "|=";
+    case BinaryOp::XorAssign: return "^=";
+    case BinaryOp::ShlAssign: return "<<=";
+    case BinaryOp::ShrAssign: return ">>=";
+  }
+  return "?";
+}
+
+const FunctionDecl* TranslationUnit::findFunction(std::string_view fn_name) const {
+  const FunctionDecl* proto = nullptr;
+  for (const DeclPtr& d : decls) {
+    if (d->kind() != DeclKind::Function || d->name != fn_name) continue;
+    const auto* fn = static_cast<const FunctionDecl*>(d.get());
+    if (fn->isDefinition()) return fn;
+    proto = fn;
+  }
+  return proto;
+}
+
+const RecordDecl* TranslationUnit::findRecord(std::string_view record_name) const {
+  for (const DeclPtr& d : decls) {
+    if (d->kind() == DeclKind::Record && d->name == record_name) {
+      return static_cast<const RecordDecl*>(d.get());
+    }
+  }
+  return nullptr;
+}
+
+const VarDecl* TranslationUnit::findGlobal(std::string_view var_name) const {
+  for (const DeclPtr& d : decls) {
+    if (d->kind() == DeclKind::Var && d->name == var_name) {
+      return static_cast<const VarDecl*>(d.get());
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const FunctionDecl*> TranslationUnit::functions() const {
+  std::vector<const FunctionDecl*> out;
+  for (const DeclPtr& d : decls) {
+    if (d->kind() == DeclKind::Function) {
+      const auto* fn = static_cast<const FunctionDecl*>(d.get());
+      if (fn->isDefinition()) out.push_back(fn);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void appendExpr(std::string& out, const Expr& e);
+
+void appendParen(std::string& out, const Expr& e) {
+  const bool needs_paren = e.kind() == ExprKind::Binary || e.kind() == ExprKind::Conditional;
+  if (needs_paren) out += '(';
+  appendExpr(out, e);
+  if (needs_paren) out += ')';
+}
+
+void appendExpr(std::string& out, const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::IntLiteral:
+      out += std::to_string(static_cast<const IntLiteralExpr&>(e).value);
+      break;
+    case ExprKind::StringLiteral:
+      out += '"';
+      out += static_cast<const StringLiteralExpr&>(e).value;
+      out += '"';
+      break;
+    case ExprKind::DeclRef:
+      out += static_cast<const DeclRefExpr&>(e).name;
+      break;
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnaryOp::PostInc || u.op == UnaryOp::PostDec) {
+        appendParen(out, *u.operand);
+        out += unaryOpSpelling(u.op);
+      } else if (u.op == UnaryOp::SizeofExpr) {
+        out += "sizeof(";
+        appendExpr(out, *u.operand);
+        out += ')';
+      } else {
+        out += unaryOpSpelling(u.op);
+        appendParen(out, *u.operand);
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      appendParen(out, *b.lhs);
+      out += ' ';
+      out += binaryOpSpelling(b.op);
+      out += ' ';
+      appendParen(out, *b.rhs);
+      break;
+    }
+    case ExprKind::Conditional: {
+      const auto& c = static_cast<const ConditionalExpr&>(e);
+      appendParen(out, *c.cond);
+      out += " ? ";
+      appendParen(out, *c.then_expr);
+      out += " : ";
+      appendParen(out, *c.else_expr);
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      out += c.callee;
+      out += '(';
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i != 0) out += ", ";
+        appendExpr(out, *c.args[i]);
+      }
+      out += ')';
+      break;
+    }
+    case ExprKind::Member: {
+      const auto& m = static_cast<const MemberExpr&>(e);
+      appendParen(out, *m.base);
+      out += m.is_arrow ? "->" : ".";
+      out += m.member;
+      break;
+    }
+    case ExprKind::Index: {
+      const auto& i = static_cast<const IndexExpr&>(e);
+      appendParen(out, *i.base);
+      out += '[';
+      appendExpr(out, *i.index);
+      out += ']';
+      break;
+    }
+    case ExprKind::Cast: {
+      const auto& c = static_cast<const CastExpr&>(e);
+      out += '(';
+      out += c.type.spelling();
+      out += ')';
+      appendParen(out, *c.operand);
+      break;
+    }
+    case ExprKind::SizeofType: {
+      const auto& s = static_cast<const SizeofTypeExpr&>(e);
+      out += "sizeof(";
+      out += s.type.spelling();
+      out += ')';
+      break;
+    }
+    case ExprKind::InitList: {
+      const auto& l = static_cast<const InitListExpr&>(e);
+      out += '{';
+      for (std::size_t i = 0; i < l.elements.size(); ++i) {
+        if (i != 0) out += ", ";
+        appendExpr(out, *l.elements[i]);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string exprToString(const Expr& expr) {
+  std::string out;
+  appendExpr(out, expr);
+  return out;
+}
+
+}  // namespace fsdep::ast

@@ -1,0 +1,144 @@
+#include "ast/dump.h"
+
+namespace fsdep::ast {
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+}  // namespace
+
+std::string dumpStmt(const Stmt& stmt, int indent) {
+  std::string out = pad(indent);
+  switch (stmt.kind()) {
+    case StmtKind::Compound: {
+      out += "CompoundStmt\n";
+      for (const StmtPtr& s : static_cast<const CompoundStmt&>(stmt).body) {
+        out += dumpStmt(*s, indent + 1);
+      }
+      break;
+    }
+    case StmtKind::Decl: {
+      out += "DeclStmt\n";
+      for (const auto& v : static_cast<const DeclStmt&>(stmt).vars) {
+        out += pad(indent + 1) + "VarDecl " + v->type.spelling() + " " + v->name;
+        if (v->init != nullptr) out += " = " + exprToString(*v->init);
+        out += '\n';
+      }
+      break;
+    }
+    case StmtKind::Expr:
+      out += "ExprStmt " + exprToString(*static_cast<const ExprStmt&>(stmt).expr) + '\n';
+      break;
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      out += "IfStmt " + exprToString(*s.cond) + '\n';
+      out += dumpStmt(*s.then_stmt, indent + 1);
+      if (s.else_stmt != nullptr) {
+        out += pad(indent) + "Else\n";
+        out += dumpStmt(*s.else_stmt, indent + 1);
+      }
+      break;
+    }
+    case StmtKind::While: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      out += "WhileStmt " + exprToString(*s.cond) + '\n';
+      out += dumpStmt(*s.body, indent + 1);
+      break;
+    }
+    case StmtKind::DoWhile: {
+      const auto& s = static_cast<const DoWhileStmt&>(stmt);
+      out += "DoWhileStmt " + exprToString(*s.cond) + '\n';
+      out += dumpStmt(*s.body, indent + 1);
+      break;
+    }
+    case StmtKind::For: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      out += "ForStmt";
+      if (s.cond != nullptr) out += " cond=" + exprToString(*s.cond);
+      out += '\n';
+      if (s.init != nullptr) out += dumpStmt(*s.init, indent + 1);
+      out += dumpStmt(*s.body, indent + 1);
+      break;
+    }
+    case StmtKind::Switch: {
+      const auto& s = static_cast<const SwitchStmt&>(stmt);
+      out += "SwitchStmt " + exprToString(*s.cond) + '\n';
+      for (const auto& c : s.cases) out += dumpStmt(*c, indent + 1);
+      break;
+    }
+    case StmtKind::Case: {
+      const auto& s = static_cast<const CaseStmt&>(stmt);
+      out += s.is_default ? "Default\n" : "Case " + exprToString(*s.value) + '\n';
+      for (const StmtPtr& b : s.body) out += dumpStmt(*b, indent + 1);
+      break;
+    }
+    case StmtKind::Break: out += "BreakStmt\n"; break;
+    case StmtKind::Continue: out += "ContinueStmt\n"; break;
+    case StmtKind::Return: {
+      const auto& s = static_cast<const ReturnStmt&>(stmt);
+      out += "ReturnStmt";
+      if (s.value != nullptr) out += ' ' + exprToString(*s.value);
+      out += '\n';
+      break;
+    }
+    case StmtKind::Null: out += "NullStmt\n"; break;
+  }
+  return out;
+}
+
+std::string dumpDecl(const Decl& decl, int indent) {
+  std::string out = pad(indent);
+  switch (decl.kind()) {
+    case DeclKind::Var: {
+      const auto& v = static_cast<const VarDecl&>(decl);
+      out += "VarDecl " + v.type.spelling() + " " + v.name;
+      if (v.init != nullptr) out += " = " + exprToString(*v.init);
+      out += '\n';
+      break;
+    }
+    case DeclKind::Function: {
+      const auto& f = static_cast<const FunctionDecl&>(decl);
+      out += "FunctionDecl " + f.return_type.spelling() + " " + f.name + "(";
+      for (std::size_t i = 0; i < f.params.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += f.params[i]->type.spelling() + " " + f.params[i]->name;
+      }
+      if (f.is_variadic) out += f.params.empty() ? "..." : ", ...";
+      out += ")\n";
+      if (f.body != nullptr) out += dumpStmt(*f.body, indent + 1);
+      break;
+    }
+    case DeclKind::Record: {
+      const auto& r = static_cast<const RecordDecl&>(decl);
+      out += "RecordDecl " + r.name + '\n';
+      for (const FieldDecl& field : r.fields) {
+        out += pad(indent + 1) + "FieldDecl " + field.type.spelling() + " " + field.name + '\n';
+      }
+      break;
+    }
+    case DeclKind::Enum: {
+      const auto& e = static_cast<const EnumDecl&>(decl);
+      out += "EnumDecl " + e.name + '\n';
+      for (const Enumerator& en : e.enumerators) {
+        out += pad(indent + 1) + "Enumerator " + en.name;
+        if (en.value_expr != nullptr) out += " = " + exprToString(*en.value_expr);
+        out += '\n';
+      }
+      break;
+    }
+    case DeclKind::Typedef: {
+      const auto& t = static_cast<const TypedefDecl&>(decl);
+      out += "TypedefDecl " + t.name + " = " + t.underlying.spelling() + '\n';
+      break;
+    }
+  }
+  return out;
+}
+
+std::string dumpTranslationUnit(const TranslationUnit& tu) {
+  std::string out = "TranslationUnit " + tu.name + '\n';
+  for (const DeclPtr& d : tu.decls) out += dumpDecl(*d, 1);
+  return out;
+}
+
+}  // namespace fsdep::ast

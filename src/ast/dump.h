@@ -1,0 +1,15 @@
+// Debug dumper: renders a TranslationUnit as an indented tree. Used by
+// golden tests and the CLI's --dump-ast flag.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace fsdep::ast {
+
+std::string dumpStmt(const Stmt& stmt, int indent = 0);
+std::string dumpDecl(const Decl& decl, int indent = 0);
+std::string dumpTranslationUnit(const TranslationUnit& tu);
+
+}  // namespace fsdep::ast

@@ -1,0 +1,74 @@
+// Recursive-descent parser for the fsdep C subset. Consumes the
+// preprocessed token stream and builds a TranslationUnit.
+//
+// Error handling: the parser reports diagnostics and synchronizes at the
+// next ';' or '}' so one bad declaration does not abort the whole file.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/ast.h"
+#include "lex/token.h"
+#include "support/diagnostics.h"
+
+namespace fsdep::ast {
+
+class Parser {
+ public:
+  Parser(std::vector<lex::Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses a whole translation unit. Check `diags` for errors afterwards.
+  std::unique_ptr<TranslationUnit> parseTranslationUnit(std::string name);
+
+ private:
+  // Token stream helpers.
+  [[nodiscard]] const lex::Token& peek(std::size_t ahead = 0) const;
+  const lex::Token& advance();
+  [[nodiscard]] bool check(lex::TokenKind kind) const { return peek().kind == kind; }
+  bool match(lex::TokenKind kind);
+  const lex::Token& expect(lex::TokenKind kind, const char* context);
+  void synchronize();
+
+  // Type parsing.
+  [[nodiscard]] bool startsType() const;
+  TypeSpec parseTypeSpec();
+  void parseDeclaratorSuffix(TypeSpec& type);
+
+  // Declarations.
+  DeclPtr parseTopLevelDecl();
+  DeclPtr parseRecordDecl(SourceLoc loc);
+  DeclPtr parseEnumDecl(SourceLoc loc);
+  DeclPtr parseTypedefDecl(SourceLoc loc);
+  DeclPtr parseFunctionOrVarDecl(bool is_static);
+  std::unique_ptr<VarDecl> parseParamDecl();
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseCompoundStmt();
+  StmtPtr parseIfStmt();
+  StmtPtr parseWhileStmt();
+  StmtPtr parseDoWhileStmt();
+  StmtPtr parseForStmt();
+  StmtPtr parseSwitchStmt();
+  StmtPtr parseReturnStmt();
+  std::unique_ptr<DeclStmt> parseDeclStmt();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int min_precedence);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<lex::Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+  std::unordered_set<std::string> typedef_names_;
+  lex::Token eof_;
+};
+
+}  // namespace fsdep::ast

@@ -1,0 +1,455 @@
+// fsdep — command line front end.
+//
+//   fsdep extract [--scenario s1..s4] [--inter] [--no-bridging] [--json]
+//   fsdep table2 | table3 | table4 | table5
+//   fsdep docck
+//   fsdep handleck
+//   fsdep bugck [--runs N]
+//   fsdep figure1
+//   fsdep dump-ast <component>
+//   fsdep dump-cfg <component> <function>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "lex/preprocessor.h"
+
+#include "ast/dump.h"
+#include "corpus/pipeline.h"
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/resize.h"
+#include "model/serialization.h"
+#include "study/bug_study.h"
+#include "study/coverage.h"
+#include "tools/conbugck.h"
+#include "tools/condocck.h"
+#include "tools/conhandleck.h"
+#include "tools/depgraph.h"
+
+namespace {
+
+using namespace fsdep;
+
+int usage() {
+  std::puts(
+      "usage: fsdep <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  extract    run the static analyzer over the corpus and print the\n"
+      "             extracted multi-level dependencies\n"
+      "               --scenario s1..s4   analyze one scenario (default: all)\n"
+      "               --inter             inter-procedural taint (ablation)\n"
+      "               --no-bridging       disable metadata bridging (ablation)\n"
+      "               --json              emit JSON instead of text\n"
+      "  table2     test-suite configuration coverage (paper Table 2)\n"
+      "  table3     bug-study distribution (paper Table 3)\n"
+      "  table4     dependency taxonomy (paper Table 4)\n"
+      "  table5     extraction evaluation (paper Table 5)\n"
+      "  docck      ConDocCk: manual-vs-code inconsistencies\n"
+      "  handleck   ConHandleCk: dependency-violation campaign\n"
+      "  bugck      ConBugCk: dependency-aware config generation (--runs N)\n"
+      "  figure1    reproduce the sparse_super2 resize corruption\n"
+      "  xfs        run the analyzer over the XFS mini-ecosystem (paper SS6)\n"
+      "  bugs       list the 67-case bug study dataset (--json for JSON)\n"
+      "  explain    show everything known about one parameter\n"
+      "  graph      emit the dependency graph as Graphviz dot\n"
+      "  check      analyze YOUR C file: fsdep check tool.c --seed fn:var:param\n"
+      "               [--component NAME] [--owner NAME] [--inter] [--json]\n"
+      "  export-corpus <dir>  write the embedded corpus sources to disk\n"
+      "  dump-ast   print the parsed AST of a corpus component\n"
+      "  dump-cfg   print the CFG of one function\n");
+  return 2;
+}
+
+bool hasFlag(const std::vector<std::string>& args, const char* flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string flagValue(const std::vector<std::string>& args, const char* flag,
+                      const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int cmdExtract(const std::vector<std::string>& args) {
+  taint::AnalysisOptions topts;
+  topts.inter_procedural = hasFlag(args, "--inter");
+  extract::ExtractOptions eopts = corpus::extractOptions();
+  eopts.enable_bridging = !hasFlag(args, "--no-bridging");
+  topts.field_bridging = eopts.enable_bridging;
+  const std::string scenario_id = flagValue(args, "--scenario", "all");
+
+  std::vector<model::Dependency> deps;
+  if (scenario_id == "all") {
+    std::vector<std::vector<model::Dependency>> per_scenario;
+    for (const corpus::Scenario& s : corpus::scenarios()) {
+      per_scenario.push_back(corpus::runScenario(s, topts, &eopts));
+    }
+    deps = extract::dedupeAcrossScenarios(per_scenario);
+  } else {
+    bool found = false;
+    for (const corpus::Scenario& s : corpus::scenarios()) {
+      if (s.id == scenario_id) {
+        deps = corpus::runScenario(s, topts, &eopts);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", scenario_id.c_str());
+      return 2;
+    }
+  }
+
+  if (hasFlag(args, "--json")) {
+    std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
+  } else {
+    for (const model::Dependency& dep : deps) std::printf("%s\n", dep.summary().c_str());
+    std::printf("\n%zu dependencies extracted\n", deps.size());
+  }
+  return 0;
+}
+
+int cmdFigure1() {
+  using namespace fsim;
+  std::puts("Reproducing the paper's Figure 1: sparse_super2 + resize2fs expansion\n");
+  for (const bool fixed : {false, true}) {
+    BlockDevice device(8192, 1024);
+    MkfsOptions mo;
+    mo.block_size = 1024;
+    mo.size_blocks = 2048;
+    mo.blocks_per_group = 512;
+    mo.sparse_super2 = true;
+    mo.resize_inode = false;
+    mo.inode_ratio = 8192;
+    const Result<Superblock> sb = MkfsTool::format(device, mo);
+    if (!sb.ok()) {
+      std::fprintf(stderr, "mkfs failed: %s\n", sb.error().message.c_str());
+      return 1;
+    }
+    Result<MountedFs> mounted = MountTool::mount(device, MountOptions{});
+    if (mounted.ok()) {
+      (void)mounted.value().createFile(8192, 2);
+      mounted.value().unmount();
+    }
+    ResizeOptions ro;
+    ro.new_size_blocks = 3072;
+    ro.fix_sparse_super2_accounting = fixed;
+    const Result<ResizeReport> resized = ResizeTool::resize(device, ro);
+    if (!resized.ok()) {
+      std::fprintf(stderr, "resize failed: %s\n", resized.error().message.c_str());
+      return 1;
+    }
+    const Result<FsckReport> fsck = FsckTool::check(device, FsckOptions{.force = true});
+    std::printf("%s accounting: fsck reports %s\n", fixed ? "fixed " : "buggy ",
+                fsck.ok() ? fsck.value().summary().c_str() : "error");
+    if (fsck.ok()) {
+      for (const FsckProblem& p : fsck.value().problems) {
+        std::printf("    - %s\n", p.description.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int cmdDumpAst(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "dump-ast: which component? (mke2fs, mount, ext4, ...)\n");
+    return 2;
+  }
+  try {
+    corpus::AnalyzedComponent component(args[0], taint::AnalysisOptions{});
+    std::fputs(ast::dumpTranslationUnit(component.tu()).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdDumpCfg(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "dump-cfg: need <component> <function>\n");
+    return 2;
+  }
+  try {
+    corpus::AnalyzedComponent component(args[0], taint::AnalysisOptions{});
+    const ast::FunctionDecl* fn = component.tu().findFunction(args[1]);
+    if (fn == nullptr || !fn->isDefinition()) {
+      std::fprintf(stderr, "no function '%s' in %s\n", args[1].c_str(), args[0].c_str());
+      return 1;
+    }
+    std::fputs(cfg::Cfg::build(*fn)->dump().c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdCheck(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "check: need a C file\n");
+    return 2;
+  }
+  const std::string path = args[0];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const std::string component = flagValue(args, "--component", "tool");
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const FileId file = sm.addBuffer(path, buffer.str());
+  // Headers resolve against the file's directory first, then the corpus.
+  const std::string dir = path.find('/') != std::string::npos
+                              ? path.substr(0, path.rfind('/') + 1)
+                              : std::string();
+  lex::Preprocessor pp(sm, diags, [&dir](std::string_view name) -> std::optional<std::string> {
+    std::ifstream header(dir + std::string(name));
+    if (header) {
+      std::stringstream text;
+      text << header.rdbuf();
+      return text.str();
+    }
+    return corpus::headerSource(name);
+  });
+  ast::Parser parser(pp.tokenize(file), diags);
+  auto tu = parser.parseTranslationUnit(path);
+  if (diags.hasErrors()) {
+    std::fputs(diags.render(sm).c_str(), stderr);
+    return 1;
+  }
+  sema::Sema sema_obj(*tu, diags);
+  sema_obj.run();
+
+  taint::AnalysisOptions topts;
+  topts.inter_procedural = hasFlag(args, "--inter");
+  taint::Analyzer analyzer(*tu, sema_obj, topts);
+  int seeds = 0;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--seed") continue;
+    const std::string spec = args[i + 1];  // fn:var:component.param
+    const std::size_t c1 = spec.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::fprintf(stderr, "check: bad --seed '%s' (want fn:var:component.param)\n",
+                   spec.c_str());
+      return 2;
+    }
+    analyzer.addSeed({spec.substr(0, c1), spec.substr(c1 + 1, c2 - c1 - 1),
+                      spec.substr(c2 + 1)});
+    ++seeds;
+  }
+  if (seeds == 0) {
+    std::fprintf(stderr,
+                 "check: no --seed given; nothing to track.\n"
+                 "       example: --seed main:blocksize:%s.blocksize\n",
+                 component.c_str());
+    return 2;
+  }
+  analyzer.run();
+
+  extract::ExtractOptions eopts = corpus::extractOptions();
+  eopts.metadata_owner = flagValue(args, "--owner", component);
+  const auto deps = extract::extractDependencies(
+      {{component, false, &analyzer, &sema_obj}}, eopts);
+
+  if (hasFlag(args, "--json")) {
+    std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
+  } else {
+    for (const model::Dependency& dep : deps) {
+      std::printf("%s\n", dep.summary().c_str());
+      for (const std::string& step : dep.trace) std::printf("    %s\n", step.c_str());
+    }
+    std::printf("\n%zu dependencies extracted from %s\n", deps.size(), path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (command == "extract") return cmdExtract(args);
+    if (command == "table2") {
+      std::fputs(study::formatTable2(study::runCoverageStudy()).c_str(), stdout);
+      return 0;
+    }
+    if (command == "table3") {
+      std::fputs(study::formatTable3().c_str(), stdout);
+      return 0;
+    }
+    if (command == "table4") {
+      std::fputs(study::formatTable4().c_str(), stdout);
+      return 0;
+    }
+    if (command == "table5") {
+      std::fputs(corpus::formatTable5(corpus::runTable5()).c_str(), stdout);
+      return 0;
+    }
+    if (command == "docck") {
+      const tools::DocCheckReport report = tools::runCorpusDocCheck();
+      std::printf("%s\n", report.summary().c_str());
+      for (const tools::DocIssue& issue : report.issues) {
+        std::printf("  [%s] %s\n", tools::docIssueKindName(issue.kind),
+                    issue.explanation.c_str());
+      }
+      return 0;
+    }
+    if (command == "handleck") {
+      const tools::HandleCheckReport report = tools::runCorpusHandleCheck();
+      std::printf("%s\n", report.summary().c_str());
+      for (const tools::HandleCase& c : report.cases) {
+        if (c.outcome == tools::HandleOutcome::Corruption ||
+            c.outcome == tools::HandleOutcome::SilentAccept) {
+          std::printf("  [%s] %s\n      %s\n", tools::handleOutcomeName(c.outcome),
+                      c.description.c_str(), c.detail.c_str());
+        }
+      }
+      return 0;
+    }
+    if (command == "bugck") {
+      const int runs = static_cast<int>(std::strtol(flagValue(args, "--runs", "100").c_str(),
+                                                    nullptr, 10));
+      const std::vector<model::Dependency> deps = corpus::runTable5().unique_deps;
+      const tools::CampaignResult naive = tools::runCampaign(runs, false, deps);
+      const tools::CampaignResult aware = tools::runCampaign(runs, true, deps);
+      std::fputs(tools::formatCampaignComparison(naive, aware).c_str(), stdout);
+      return 0;
+    }
+    if (command == "figure1") return cmdFigure1();
+    if (command == "xfs") {
+      const extract::ExtractOptions options = corpus::xfsExtractOptions();
+      const auto deps =
+          corpus::runScenario(corpus::xfsScenario(), taint::AnalysisOptions{}, &options);
+      if (hasFlag(args, "--json")) {
+        std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
+      } else {
+        for (const model::Dependency& dep : deps) std::printf("%s\n", dep.summary().c_str());
+        std::printf("\n%zu dependencies extracted from the XFS ecosystem\n", deps.size());
+      }
+      return 0;
+    }
+    if (command == "bugs") {
+      if (hasFlag(args, "--json")) {
+        json::Array cases;
+        for (const study::BugCase& bug : study::bugCases()) {
+          json::Object o;
+          o["id"] = bug.id;
+          o["scenario"] = bug.scenario;
+          o["title"] = bug.title;
+          json::Array dep_ids;
+          for (const std::string& id : bug.dependency_ids) dep_ids.emplace_back(id);
+          o["dependencies"] = std::move(dep_ids);
+          cases.push_back(std::move(o));
+        }
+        json::Object root;
+        root["bugs"] = std::move(cases);
+        std::fputs(json::writePretty(root).c_str(), stdout);
+      } else {
+        for (const study::BugCase& bug : study::bugCases()) {
+          std::printf("%-12s [%s] %s\n", bug.id.c_str(), bug.scenario.c_str(),
+                      bug.title.c_str());
+        }
+        std::printf("\n%zu bug cases\n", study::bugCases().size());
+      }
+      return 0;
+    }
+    if (command == "explain") {
+      if (args.empty()) {
+        std::fprintf(stderr, "explain: which parameter? (e.g. mke2fs.sparse_super2)\n");
+        return 2;
+      }
+      const std::string& param = args[0];
+      const corpus::Table5Result result = corpus::runTable5();
+      const model::Parameter* registered = corpus::ecosystem().findParameter(param);
+      if (registered != nullptr) {
+        std::printf("%s  (%s, %s stage): %s\n\n", param.c_str(), registered->flag.c_str(),
+                    model::configStageName(registered->stage), registered->description.c_str());
+      } else {
+        std::printf("%s  (not in the parameter registry)\n\n", param.c_str());
+      }
+      int shown = 0;
+      for (const model::Dependency& dep : result.unique_deps) {
+        if (dep.param != param && dep.other_param != param) continue;
+        std::printf("  %s\n", dep.summary().c_str());
+        for (const std::string& step : dep.trace) std::printf("      %s\n", step.c_str());
+        ++shown;
+      }
+      bool documented = false;
+      for (const corpus::ManualEntry& entry : corpus::allManuals()) {
+        if (entry.claim.param == param || entry.claim.other_param == param) {
+          std::printf("  manual: \"%s\"\n", entry.text.c_str());
+          documented = true;
+        }
+      }
+      if (shown == 0) std::puts("  no extracted dependencies involve this parameter");
+      if (!documented) std::puts("  no manual claim mentions this parameter");
+      return 0;
+    }
+    if (command == "graph") {
+      const corpus::Table5Result result = corpus::runTable5();
+      tools::GraphOptions options;
+      options.include_self_deps = hasFlag(args, "--self-deps");
+      std::fputs(tools::renderDependencyGraphDot(result.unique_deps, options).c_str(), stdout);
+      return 0;
+    }
+    if (command == "check") return cmdCheck(args);
+    if (command == "export-corpus") {
+      if (args.empty()) {
+        std::fprintf(stderr, "export-corpus: need a target directory\n");
+        return 2;
+      }
+      const std::string dir = args[0];
+      auto writeFile = [&](const std::string& name, std::string_view text) {
+        const std::string out_path = dir + "/" + name;
+        std::ofstream out(out_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s (does the directory exist?)\n",
+                       out_path.c_str());
+          std::exit(1);
+        }
+        out << text;
+        std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
+      };
+      for (const char* header : {"ext4_fs.h", "fsdep_libc.h", "xfs_fs.h", "btrfs_fs.h"}) {
+        writeFile(header, *corpus::headerSource(header));
+      }
+      for (const auto& names : {corpus::componentNames(), corpus::xfsComponentNames(),
+                                corpus::btrfsComponentNames()}) {
+        for (const std::string& component : names) {
+          writeFile(component + ".c", corpus::componentSource(component));
+        }
+      }
+      return 0;
+    }
+    if (command == "dump-ast") return cmdDumpAst(args);
+    if (command == "dump-cfg") return cmdDumpCfg(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsdep: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,110 @@
+// The embedded Ext4-ecosystem corpus.
+//
+// The paper analyzes the real Ext4 kernel sources and e2fsprogs utilities.
+// This repository ships a faithful, self-contained mirror of their
+// configuration-handling structure, written in the fsdep C subset: six
+// components (mke2fs, mount, ext4, e4defrag, resize2fs, e2fsck) sharing
+// the on-disk metadata structures through "ext4_fs.h" — the bridge the
+// extractor exploits (paper §4.1).
+//
+// Everything a scenario run needs is here: sources, taint seeds (the
+// paper's manual annotations), per-scenario pre-selected functions,
+// labelled ground truth, the parameter registry, manuals (for ConDocCk),
+// and test-suite manifests (for Table 2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extract/extractor.h"
+#include "extract/scoring.h"
+#include "model/config_model.h"
+#include "taint/analyzer.h"
+
+namespace fsdep::corpus {
+
+/// Names of the six Ext4-ecosystem components, in pipeline order.
+std::vector<std::string> componentNames();
+
+/// The XFS mini-ecosystem (paper SS6 future work): mkfs.xfs, the kernel
+/// mount path, xfs_growfs. Analyzed with the very same pipeline; only
+/// sources, seeds and the metadata owner differ.
+std::vector<std::string> xfsComponentNames();
+
+/// The BtrFS mini-ecosystem (also paper SS6): mkfs.btrfs, the kernel
+/// mount path, btrfs-balance.
+std::vector<std::string> btrfsComponentNames();
+
+/// True for the kernel-side component ("ext4").
+bool isKernelComponent(std::string_view component);
+
+/// Source text of a component's main translation unit ("<name>.c").
+std::string_view componentSource(std::string_view component);
+
+/// Source text of a shared header ("ext4_fs.h", "fsdep_libc.h"), or
+/// nullopt when unknown. Usable as a lex::IncludeResolver.
+std::optional<std::string> headerSource(std::string_view name);
+
+/// Taint seeds (manual annotations) for a component.
+std::vector<taint::Seed> componentSeeds(std::string_view component);
+
+/// A usage scenario (row of Tables 3 and 5).
+struct Scenario {
+  std::string id;     ///< "s1".."s4"
+  std::string title;  ///< e.g. "mke2fs - mount - Ext4"
+  /// component -> pre-selected functions to analyze.
+  std::map<std::string, std::vector<std::string>> selection;
+};
+
+std::vector<Scenario> scenarios();
+
+/// Extraction options tuned for the corpus (parser types, error
+/// functions).
+extract::ExtractOptions extractOptions();
+
+/// Same, with the XFS superblock as the metadata owner.
+extract::ExtractOptions xfsExtractOptions();
+
+/// Same, with the BtrFS superblock as the metadata owner.
+extract::ExtractOptions btrfsExtractOptions();
+
+/// The XFS usage scenario (mkfs.xfs - mount - XFS - xfs_growfs).
+Scenario xfsScenario();
+
+/// The BtrFS usage scenario (mkfs.btrfs - mount - BtrFS - btrfs-balance).
+Scenario btrfsScenario();
+
+/// The labelled ground truth for Table 5 scoring.
+const std::vector<extract::GroundTruthEntry>& groundTruth();
+
+/// The parameter registry of the ecosystem (Table 2 totals).
+const model::Ecosystem& ecosystem();
+
+/// Structured manual (man-page) for a component: each entry is a
+/// constraint the documentation states, as a model::Dependency claim plus
+/// the sentence it comes from. ConDocCk diffs these claims against the
+/// extracted dependencies: a code dependency with no claim is
+/// undocumented; a claim whose bounds/operator disagree with the code is
+/// inaccurate; a claim with no code dependency behind it is stale.
+struct ManualEntry {
+  model::Dependency claim;
+  std::string text;
+};
+std::vector<ManualEntry> manualFor(std::string_view component);
+/// All manuals concatenated.
+std::vector<ManualEntry> allManuals();
+
+/// Test-suite manifest: which parameters a suite's cases mention. Used by
+/// the Table 2 coverage study.
+struct SuiteManifest {
+  std::string suite;            ///< "xfstest", "e2fsprogs-test"
+  std::string target;           ///< component whose params are counted
+  std::vector<std::string> case_texts;  ///< shell-ish test case bodies
+};
+std::vector<SuiteManifest> suiteManifests();
+
+}  // namespace fsdep::corpus

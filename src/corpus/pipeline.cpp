@@ -1,0 +1,146 @@
+#include "corpus/pipeline.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "ast/parser.h"
+#include "lex/preprocessor.h"
+#include "support/strings.h"
+
+namespace fsdep::corpus {
+
+AnalyzedComponent::AnalyzedComponent(std::string name, const taint::AnalysisOptions& taint_options)
+    : name_(std::move(name)), is_kernel_(isKernelComponent(name_)) {
+  const std::string_view source = componentSource(name_);
+  if (source.empty()) throw std::runtime_error("unknown corpus component: " + name_);
+
+  const FileId file = sm_.addBuffer(name_ + ".c", std::string(source));
+  lex::Preprocessor pp(sm_, diags_, [](std::string_view header) { return headerSource(header); });
+  std::vector<lex::Token> tokens = pp.tokenize(file);
+  if (diags_.hasErrors()) {
+    throw std::runtime_error("corpus preprocessing failed for " + name_ + ":\n" +
+                             diags_.render(sm_));
+  }
+
+  ast::Parser parser(std::move(tokens), diags_);
+  tu_ = parser.parseTranslationUnit(name_ + ".c");
+  if (diags_.hasErrors()) {
+    throw std::runtime_error("corpus parse failed for " + name_ + ":\n" + diags_.render(sm_));
+  }
+
+  sema_ = std::make_unique<sema::Sema>(*tu_, diags_);
+  if (!sema_->run()) {
+    throw std::runtime_error("corpus sema failed for " + name_ + ":\n" + diags_.render(sm_));
+  }
+
+  analyzer_ = std::make_unique<taint::Analyzer>(*tu_, *sema_, taint_options);
+  for (taint::Seed& seed : componentSeeds(name_)) {
+    analyzer_->addSeed(std::move(seed));
+  }
+}
+
+void AnalyzedComponent::analyze(const std::vector<std::string>& function_names) {
+  std::vector<const ast::FunctionDecl*> fns;
+  for (const std::string& fn_name : function_names) {
+    const ast::FunctionDecl* fn = tu_->findFunction(fn_name);
+    if (fn == nullptr || !fn->isDefinition()) {
+      throw std::runtime_error("corpus: no function '" + fn_name + "' in " + name_);
+    }
+    fns.push_back(fn);
+  }
+  analyzer_->run(fns);
+}
+
+extract::ComponentRun AnalyzedComponent::asRun() const {
+  extract::ComponentRun run;
+  run.component = name_;
+  run.is_kernel = is_kernel_;
+  run.analyzer = analyzer_.get();
+  run.sema = sema_.get();
+  return run;
+}
+
+std::vector<model::Dependency> runScenario(const Scenario& scenario,
+                                           const taint::AnalysisOptions& taint_options,
+                                           const extract::ExtractOptions* extract_override) {
+  std::vector<std::unique_ptr<AnalyzedComponent>> components;
+  std::vector<extract::ComponentRun> runs;
+  for (const auto& [component, functions] : scenario.selection) {
+    auto analyzed = std::make_unique<AnalyzedComponent>(component, taint_options);
+    analyzed->analyze(functions);
+    components.push_back(std::move(analyzed));
+    runs.push_back(components.back()->asRun());
+  }
+  const extract::ExtractOptions options =
+      extract_override != nullptr ? *extract_override : extractOptions();
+  return extract::extractDependencies(runs, options);
+}
+
+Table5Result runTable5(const taint::AnalysisOptions& taint_options,
+                       const extract::ExtractOptions* extract_override) {
+  Table5Result result;
+  std::vector<std::vector<model::Dependency>> per_scenario_deps;
+  std::vector<std::string> scenario_ids;
+
+  for (const Scenario& scenario : scenarios()) {
+    ScenarioResult sr;
+    sr.id = scenario.id;
+    sr.title = scenario.title;
+    sr.deps = runScenario(scenario, taint_options, extract_override);
+    sr.score = extract::scoreScenario(scenario.id, sr.deps, groundTruth());
+    per_scenario_deps.push_back(sr.deps);
+    scenario_ids.push_back(scenario.id);
+    result.per_scenario.push_back(std::move(sr));
+  }
+
+  result.unique_deps = extract::dedupeAcrossScenarios(per_scenario_deps);
+  result.unique_score = extract::scoreUnique(per_scenario_deps, scenario_ids, groundTruth());
+  return result;
+}
+
+namespace {
+
+std::string fpCell(const extract::LevelScore& level) {
+  if (level.extracted == 0) return "-";
+  if (level.false_positives == 0) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d (%s)", level.false_positives,
+                formatPercent(static_cast<double>(level.false_positives) /
+                              static_cast<double>(level.extracted))
+                    .c_str());
+  return buf;
+}
+
+void appendRow(std::string& out, const std::string& title, const extract::ScenarioScore& score) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-48s | %3d %-10s | %3d %-10s | %3d %-10s\n", title.c_str(),
+                score.sd.extracted, fpCell(score.sd).c_str(), score.cpd.extracted,
+                fpCell(score.cpd).c_str(), score.ccd.extracted, fpCell(score.ccd).c_str());
+  out += buf;
+}
+
+}  // namespace
+
+std::string formatTable5(const Table5Result& result) {
+  std::string out;
+  out +=
+      "Table 5: Evaluation Results of Extracting Multi-Level Configuration Dependencies\n";
+  out += std::string(48, ' ') +
+         " |  SD  FP        | CPD  FP        | CCD  FP\n";
+  out += std::string(120, '-') + "\n";
+  for (const ScenarioResult& sr : result.per_scenario) {
+    appendRow(out, sr.title, sr.score);
+  }
+  out += std::string(120, '-') + "\n";
+  appendRow(out, "Total Unique", result.unique_score);
+  const int total = result.unique_score.totalExtracted();
+  const int fps = result.unique_score.totalFalsePositives();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Overall: %d unique dependencies, %d false positives (%s)\n", total, fps,
+                formatPercent(total > 0 ? static_cast<double>(fps) / total : 0.0).c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace fsdep::corpus

@@ -1,0 +1,80 @@
+// End-to-end pipeline over the embedded corpus: parse each component with
+// the fsdep frontend, resolve, seed, run the taint analysis on a
+// scenario's pre-selected functions, extract dependencies, and score them
+// against the ground truth. This is what the Table 5 bench, the CLI and
+// the integration tests drive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "corpus/corpus.h"
+#include "extract/extractor.h"
+#include "extract/scoring.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+#include "taint/analyzer.h"
+
+namespace fsdep::corpus {
+
+/// One parsed and resolved component, ready to be analyzed (possibly
+/// several times with different function selections).
+class AnalyzedComponent {
+ public:
+  /// Parses and resolves the named corpus component. Throws
+  /// std::runtime_error when the corpus fails to parse (a bug).
+  AnalyzedComponent(std::string name, const taint::AnalysisOptions& taint_options);
+
+  /// (Re)runs the taint analysis on the given functions (empty = all).
+  void analyze(const std::vector<std::string>& function_names);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool isKernel() const { return is_kernel_; }
+  [[nodiscard]] const ast::TranslationUnit& tu() const { return *tu_; }
+  [[nodiscard]] sema::Sema& semaRef() { return *sema_; }
+  [[nodiscard]] taint::Analyzer& analyzer() { return *analyzer_; }
+  [[nodiscard]] const SourceManager& sourceManager() const { return sm_; }
+  [[nodiscard]] extract::ComponentRun asRun() const;
+
+ private:
+  std::string name_;
+  bool is_kernel_ = false;
+  SourceManager sm_;
+  DiagnosticEngine diags_;
+  std::unique_ptr<ast::TranslationUnit> tu_;
+  std::unique_ptr<sema::Sema> sema_;
+  std::unique_ptr<taint::Analyzer> analyzer_;
+};
+
+struct ScenarioResult {
+  std::string id;
+  std::string title;
+  std::vector<model::Dependency> deps;
+  extract::ScenarioScore score;
+};
+
+struct Table5Result {
+  std::vector<ScenarioResult> per_scenario;
+  extract::ScenarioScore unique_score;
+  std::vector<model::Dependency> unique_deps;
+};
+
+/// Runs the whole Table-5 experiment: all four scenarios plus the unique
+/// row. `taint_options` selects intra- vs inter-procedural mode and the
+/// bridging ablation; extraction options come from the corpus unless
+/// overridden.
+Table5Result runTable5(const taint::AnalysisOptions& taint_options = {},
+                       const extract::ExtractOptions* extract_override = nullptr);
+
+/// Runs a single scenario (parse + analyze + extract), unscored.
+std::vector<model::Dependency> runScenario(const Scenario& scenario,
+                                           const taint::AnalysisOptions& taint_options = {},
+                                           const extract::ExtractOptions* extract_override = nullptr);
+
+/// Renders Table 5 in the paper's layout.
+std::string formatTable5(const Table5Result& result);
+
+}  // namespace fsdep::corpus

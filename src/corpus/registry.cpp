@@ -1,0 +1,263 @@
+// Parameter registry of the Ext4 ecosystem. Totals mirror the paper's
+// Table 2: the FS side (mke2fs + mount + ext4 tunables) exceeds 85
+// parameters, e2fsck exceeds 35, resize2fs exceeds 15.
+#include "corpus/corpus.h"
+
+namespace fsdep::corpus {
+
+namespace {
+
+using model::Component;
+using model::ConfigStage;
+using model::Parameter;
+using model::ParamType;
+
+Parameter param(const std::string& component, const std::string& name, const std::string& flag,
+                ParamType type, ConfigStage stage, const std::string& description) {
+  Parameter p;
+  p.component = component;
+  p.name = name;
+  p.flag = flag;
+  p.type = type;
+  p.stage = stage;
+  p.description = description;
+  return p;
+}
+
+Component buildMke2fs() {
+  Component c;
+  c.name = "mke2fs";
+  c.stage = ConfigStage::Create;
+  c.description = "create an ext2/ext3/ext4 filesystem";
+  const ConfigStage s = ConfigStage::Create;
+  auto add = [&](const std::string& name, const std::string& flag, ParamType type,
+                 const std::string& desc) { c.parameters.push_back(param("mke2fs", name, flag, type, s, desc)); };
+  add("blocksize", "-b", ParamType::Integer, "block size in bytes");
+  add("cluster_size", "-C", ParamType::Integer, "cluster size for bigalloc");
+  add("inode_ratio", "-i", ParamType::Integer, "bytes per inode");
+  add("inode_size", "-I", ParamType::Integer, "inode size in bytes");
+  add("num_inodes", "-N", ParamType::Integer, "number of inodes");
+  add("reserved_ratio", "-m", ParamType::Integer, "reserved blocks percentage");
+  add("blocks_per_group", "-g", ParamType::Integer, "blocks per block group");
+  add("flex_bg_size", "-G", ParamType::Integer, "groups per flex group");
+  add("revision", "-r", ParamType::Integer, "filesystem revision");
+  add("label", "-L", ParamType::String, "volume label");
+  add("last_mounted", "-M", ParamType::String, "last mounted directory");
+  add("uuid", "-U", ParamType::String, "volume uuid");
+  add("resize_limit", "-E resize=", ParamType::Size, "growth limit for resize_inode");
+  add("stride", "-E stride=", ParamType::Integer, "RAID stride");
+  add("stripe_width", "-E stripe_width=", ParamType::Integer, "RAID stripe width");
+  add("lazy_itable_init", "-E lazy_itable_init=", ParamType::Flag, "defer itable init");
+  add("size", "fs-size", ParamType::Size, "filesystem size argument");
+  add("meta_bg", "-O meta_bg", ParamType::Flag, "meta block groups");
+  add("resize_inode", "-O resize_inode", ParamType::Flag, "online-growth reserve");
+  add("sparse_super", "-O sparse_super", ParamType::Flag, "sparse superblock backups");
+  add("sparse_super2", "-O sparse_super2", ParamType::Flag, "two-backup superblock layout");
+  add("bigalloc", "-O bigalloc", ParamType::Flag, "cluster allocation");
+  add("extent", "-O extent", ParamType::Flag, "extent-mapped files");
+  add("64bit", "-O 64bit", ParamType::Flag, "64-bit block numbers");
+  add("quota", "-O quota", ParamType::Flag, "journaled quota");
+  add("has_journal", "-O has_journal", ParamType::Flag, "internal journal");
+  add("journal_dev", "-O journal_dev", ParamType::Flag, "external journal device");
+  add("uninit_bg", "-O uninit_bg", ParamType::Flag, "uninitialized groups / gdt csum");
+  add("metadata_csum", "-O metadata_csum", ParamType::Flag, "metadata checksums");
+  add("flex_bg", "-O flex_bg", ParamType::Flag, "flexible block groups");
+  add("inline_data", "-O inline_data", ParamType::Flag, "inline small files");
+  add("encrypt", "-O encrypt", ParamType::Flag, "filesystem-level encryption");
+  return c;
+}
+
+Component buildMount() {
+  Component c;
+  c.name = "mount";
+  c.stage = ConfigStage::Mount;
+  c.description = "mount-time options of the ext4 ecosystem";
+  const ConfigStage s = ConfigStage::Mount;
+  auto add = [&](const std::string& name, const std::string& flag, ParamType type,
+                 const std::string& desc) { c.parameters.push_back(param("mount", name, flag, type, s, desc)); };
+  add("ro", "-o ro", ParamType::Flag, "read-only mount");
+  add("rw", "-o rw", ParamType::Flag, "read-write mount");
+  add("dax", "-o dax", ParamType::Flag, "direct access to persistent memory");
+  add("data_journal", "-o data=journal", ParamType::Flag, "journal data and metadata");
+  add("data_ordered", "-o data=ordered", ParamType::Flag, "ordered data mode");
+  add("data_writeback", "-o data=writeback", ParamType::Flag, "writeback data mode");
+  add("noload", "-o noload", ParamType::Flag, "skip journal replay");
+  add("norecovery", "-o norecovery", ParamType::Flag, "alias of noload");
+  add("commit", "-o commit=", ParamType::Integer, "journal commit interval (s)");
+  add("stripe", "-o stripe=", ParamType::Integer, "RAID stripe size in blocks");
+  add("inode_readahead_blks", "-o inode_readahead_blks=", ParamType::Integer,
+      "inode table readahead");
+  add("max_batch_time", "-o max_batch_time=", ParamType::Integer, "max commit batching (us)");
+  add("min_batch_time", "-o min_batch_time=", ParamType::Integer, "min commit batching (us)");
+  add("journal_checksum", "-o journal_checksum", ParamType::Flag, "checksum journal blocks");
+  add("journal_async_commit", "-o journal_async_commit", ParamType::Flag,
+      "commit without waiting for descriptors");
+  add("journal_ioprio", "-o journal_ioprio=", ParamType::Integer, "journal IO priority");
+  add("usrjquota", "-o usrjquota=", ParamType::String, "user quota file");
+  add("grpjquota", "-o grpjquota=", ParamType::String, "group quota file");
+  add("jqfmt", "-o jqfmt=", ParamType::Enum, "journaled quota format");
+  add("usrquota", "-o usrquota", ParamType::Flag, "user quota");
+  add("grpquota", "-o grpquota", ParamType::Flag, "group quota");
+  add("noquota", "-o noquota", ParamType::Flag, "disable quota");
+  add("dioread_nolock", "-o dioread_nolock", ParamType::Flag, "lockless direct IO reads");
+  add("delalloc", "-o delalloc", ParamType::Flag, "delayed allocation");
+  add("nodelalloc", "-o nodelalloc", ParamType::Flag, "disable delayed allocation");
+  add("nobh", "-o nobh", ParamType::Flag, "avoid buffer heads (historical)");
+  add("auto_da_alloc", "-o auto_da_alloc", ParamType::Flag, "replace-via-rename heuristics");
+  add("barrier", "-o barrier=", ParamType::Integer, "write barriers");
+  add("resuid", "-o resuid=", ParamType::Integer, "uid allowed to use reserved blocks");
+  add("resgid", "-o resgid=", ParamType::Integer, "gid allowed to use reserved blocks");
+  add("errors", "-o errors=", ParamType::Enum, "behaviour on errors");
+  add("discard", "-o discard", ParamType::Flag, "issue discard/TRIM");
+  return c;
+}
+
+Component buildExt4() {
+  Component c;
+  c.name = "ext4";
+  c.stage = ConfigStage::Mount;
+  c.is_kernel = true;
+  c.description = "kernel-side tunables and persistent superblock fields";
+  auto add = [&](const std::string& name, ParamType type, ConfigStage stage,
+                 const std::string& desc) { c.parameters.push_back(param("ext4", name, name, type, stage, desc)); };
+  add("s_log_block_size", ParamType::Integer, ConfigStage::Create, "block size log2 - 10");
+  add("s_log_cluster_size", ParamType::Integer, ConfigStage::Create, "cluster size log2 - 10");
+  add("s_inode_size", ParamType::Integer, ConfigStage::Create, "on-disk inode size");
+  add("s_inodes_per_group", ParamType::Integer, ConfigStage::Create, "inodes per group");
+  add("s_blocks_per_group", ParamType::Integer, ConfigStage::Create, "blocks per group");
+  add("s_rev_level", ParamType::Integer, ConfigStage::Create, "revision level");
+  add("s_first_ino", ParamType::Integer, ConfigStage::Create, "first non-reserved inode");
+  add("s_desc_size", ParamType::Integer, ConfigStage::Create, "group descriptor size");
+  add("s_first_data_block", ParamType::Integer, ConfigStage::Create, "first data block");
+  add("s_reserved_gdt_blocks", ParamType::Integer, ConfigStage::Create, "reserved GDT blocks");
+  add("s_error_count", ParamType::Integer, ConfigStage::Offline, "errors since last fsck");
+  add("s_mnt_count", ParamType::Integer, ConfigStage::Mount, "mounts since last fsck");
+  add("s_max_mnt_count", ParamType::Integer, ConfigStage::Offline, "fsck-after-N-mounts");
+  add("s_checkinterval", ParamType::Integer, ConfigStage::Offline, "fsck interval (s)");
+  add("s_errors", ParamType::Enum, ConfigStage::Offline, "behaviour on errors");
+  add("s_def_resuid", ParamType::Integer, ConfigStage::Offline, "default reserved uid");
+  add("s_def_resgid", ParamType::Integer, ConfigStage::Offline, "default reserved gid");
+  add("s_default_mount_opts", ParamType::Integer, ConfigStage::Offline, "default mount opts");
+  add("lazytime", ParamType::Flag, ConfigStage::Mount, "lazy timestamp updates");
+  add("mb_stream_req", ParamType::Integer, ConfigStage::Online, "small-file allocator cutoff");
+  add("mb_max_to_scan", ParamType::Integer, ConfigStage::Online, "mballoc scan bound");
+  add("mb_min_to_scan", ParamType::Integer, ConfigStage::Online, "mballoc scan floor");
+  add("mb_group_prealloc", ParamType::Integer, ConfigStage::Online, "group preallocation");
+  add("inode_readahead_blks_sysfs", ParamType::Integer, ConfigStage::Online,
+      "sysfs override of readahead");
+  return c;
+}
+
+Component buildE4defrag() {
+  Component c;
+  c.name = "e4defrag";
+  c.stage = ConfigStage::Online;
+  c.description = "online defragmenter";
+  auto add = [&](const std::string& name, const std::string& flag, ParamType type,
+                 const std::string& desc) {
+    c.parameters.push_back(param("e4defrag", name, flag, type, ConfigStage::Online, desc));
+  };
+  add("stat_only", "-c", ParamType::Flag, "report fragmentation only");
+  add("verbose", "-v", ParamType::Flag, "verbose output");
+  add("target", "path", ParamType::String, "file, directory or device");
+  add("sync_interval", "-s", ParamType::Integer, "fsync every N files");
+  return c;
+}
+
+Component buildResize2fs() {
+  Component c;
+  c.name = "resize2fs";
+  c.stage = ConfigStage::Offline;
+  c.description = "grow or shrink an unmounted ext4 filesystem";
+  auto add = [&](const std::string& name, const std::string& flag, ParamType type,
+                 const std::string& desc) {
+    c.parameters.push_back(param("resize2fs", name, flag, type, ConfigStage::Offline, desc));
+  };
+  add("size", "size", ParamType::Size, "target filesystem size");
+  add("minimize", "-M", ParamType::Flag, "shrink to minimum");
+  add("force", "-f", ParamType::Flag, "override safety checks");
+  add("online", "-o", ParamType::Flag, "online (mounted) resize");
+  add("print_min", "-P", ParamType::Flag, "print minimum size and exit");
+  add("progress", "-p", ParamType::Flag, "progress bars");
+  add("debug", "-d", ParamType::Integer, "debug flags");
+  add("rid_64bit", "-s", ParamType::Flag, "convert away from 64bit");
+  add("enable_64bit", "-b", ParamType::Flag, "convert to 64bit");
+  add("stride", "-S", ParamType::Integer, "RAID stride hint");
+  add("zero_superblock", "-z", ParamType::String, "undo file");
+  add("flush", "-F", ParamType::Flag, "flush device buffers first");
+  add("mmp_check", "-m", ParamType::Integer, "MMP check interval");
+  add("reserved_ratio", "-r", ParamType::Integer, "new reserved percentage");
+  add("quiet", "-q", ParamType::Flag, "suppress output");
+  add("yes", "-y", ParamType::Flag, "assume yes");
+  return c;
+}
+
+Component buildE2fsck() {
+  Component c;
+  c.name = "e2fsck";
+  c.stage = ConfigStage::Offline;
+  c.description = "check and repair an ext4 filesystem";
+  auto add = [&](const std::string& name, const std::string& flag, ParamType type,
+                 const std::string& desc) {
+    c.parameters.push_back(param("e2fsck", name, flag, type, ConfigStage::Offline, desc));
+  };
+  add("preen", "-p", ParamType::Flag, "automatic repair without questions");
+  add("yes", "-y", ParamType::Flag, "answer yes to all questions");
+  add("no", "-n", ParamType::Flag, "open read-only, answer no");
+  add("force", "-f", ParamType::Flag, "check even if clean");
+  add("check_blocks", "-c", ParamType::Flag, "badblocks scan");
+  add("backup_super", "-b", ParamType::Integer, "use backup superblock");
+  add("blocksize", "-B", ParamType::Integer, "blocksize of backup superblock");
+  add("external_journal", "-j", ParamType::String, "external journal device");
+  add("bad_blocks_file", "-l", ParamType::String, "add to badblocks list");
+  add("new_bad_blocks_file", "-L", ParamType::String, "replace badblocks list");
+  add("verbose", "-v", ParamType::Flag, "verbose output");
+  add("preserve", "-d", ParamType::Flag, "debugging output");
+  add("time_stats", "-t", ParamType::Flag, "timing statistics");
+  add("progress_fd", "-C", ParamType::Integer, "progress on descriptor");
+  add("device_alt", "-D", ParamType::Flag, "optimize directories");
+  add("expand_ea", "-E expand_extra_isize", ParamType::Flag, "expand inode extra size");
+  add("fragcheck", "-E fragcheck", ParamType::Flag, "fragmentation report");
+  add("journal_only", "-E journal_only", ParamType::Flag, "replay journal, nothing else");
+  add("discard", "-E discard", ParamType::Flag, "discard free blocks");
+  add("nodiscard", "-E nodiscard", ParamType::Flag, "do not discard");
+  add("optimize_dirs", "-E bmap2extent", ParamType::Flag, "convert block-mapped files");
+  add("fixes_only", "-E fixes_only", ParamType::Flag, "only fix, no optimization");
+  add("unshare_blocks", "-E unshare_blocks", ParamType::Flag, "unshare shared blocks");
+  add("no_optimize_extents", "-E no_optimize_extents", ParamType::Flag,
+      "keep extent trees as-is");
+  add("inode_count_fullmap", "-E inode_count_fullmap", ParamType::Flag,
+      "full inode count map");
+  add("readahead_kb", "-E readahead_kb=", ParamType::Integer, "readahead budget");
+  add("threads", "-E threads=", ParamType::Integer, "parallel passes");
+  add("exclusive", "-x", ParamType::Flag, "exclusive device access (historical)");
+  add("swap_bytes", "-s", ParamType::Flag, "byte-swap (historical)");
+  add("force_swap", "-S", ParamType::Flag, "force byte-swap (historical)");
+  add("timing", "-tt", ParamType::Flag, "per-pass timing");
+  add("safe_mode", "-z", ParamType::String, "undo file");
+  add("superblock_alt", "-A", ParamType::Flag, "check all filesystems");
+  add("max_errors", "-M", ParamType::Integer, "stop after N errors");
+  add("root_only", "-R", ParamType::Flag, "skip root filesystem (historical)");
+  add("keep_going", "-k", ParamType::Flag, "continue after fatal errors");
+  return c;
+}
+
+model::Ecosystem build() {
+  model::Ecosystem eco;
+  eco.addComponent(buildMke2fs());
+  eco.addComponent(buildMount());
+  eco.addComponent(buildExt4());
+  eco.addComponent(buildE4defrag());
+  eco.addComponent(buildResize2fs());
+  eco.addComponent(buildE2fsck());
+  return eco;
+}
+
+}  // namespace
+
+const model::Ecosystem& ecosystem() {
+  static const model::Ecosystem kEcosystem = build();
+  return kEcosystem;
+}
+
+}  // namespace fsdep::corpus

@@ -1,0 +1,197 @@
+// Taint seeds: the paper's "manual annotations" (§6) naming the variable
+// that carries each configuration parameter inside each pre-selected
+// function. Order matters within a component: the first seed listed gets
+// the smallest label id, which makes it the anchor when a condition
+// involves several of the component's own parameters.
+#include "corpus/corpus.h"
+
+namespace fsdep::corpus {
+
+std::vector<taint::Seed> componentSeeds(std::string_view component) {
+  using taint::Seed;
+  if (component == "mke2fs") {
+    return {
+        // mke2fs_main locals.
+        {"mke2fs_main", "fs_blocks", "mke2fs.size"},
+        {"mke2fs_main", "blocksize", "mke2fs.blocksize"},
+        {"mke2fs_main", "inode_size", "mke2fs.inode_size"},
+        {"mke2fs_main", "inode_ratio", "mke2fs.inode_ratio"},
+        {"mke2fs_main", "reserved_ratio", "mke2fs.reserved_ratio"},
+        {"mke2fs_main", "blocks_per_group", "mke2fs.blocks_per_group"},
+        {"mke2fs_main", "flex_bg_size", "mke2fs.flex_bg_size"},
+        {"mke2fs_main", "revision", "mke2fs.revision"},
+        {"mke2fs_main", "cluster_size", "mke2fs.cluster_size"},
+        {"mke2fs_main", "resize_limit", "mke2fs.resize_limit"},
+        {"mke2fs_main", "volume_label", "mke2fs.label"},
+        {"mke2fs_main", "meta_bg", "mke2fs.meta_bg"},
+        {"mke2fs_main", "resize_inode", "mke2fs.resize_inode"},
+        {"mke2fs_main", "sparse_super2", "mke2fs.sparse_super2"},
+        {"mke2fs_main", "bigalloc", "mke2fs.bigalloc"},
+        {"mke2fs_main", "extents", "mke2fs.extent"},
+        {"mke2fs_main", "has_64bit", "mke2fs.64bit"},
+        {"mke2fs_main", "quota", "mke2fs.quota"},
+        {"mke2fs_main", "has_journal", "mke2fs.has_journal"},
+        {"mke2fs_main", "journal_dev", "mke2fs.journal_dev"},
+        {"mke2fs_main", "uninit_bg", "mke2fs.uninit_bg"},
+        {"mke2fs_main", "metadata_csum", "mke2fs.metadata_csum"},
+        {"mke2fs_main", "flex_bg", "mke2fs.flex_bg"},
+        {"mke2fs_main", "inline_data", "mke2fs.inline_data"},
+        {"mke2fs_main", "encrypt", "mke2fs.encrypt"},
+        // mke2fs_write_super parameters (intra-procedural analysis needs
+        // its own annotations for the fill path).
+        {"mke2fs_write_super", "fs_blocks", "mke2fs.size"},
+        {"mke2fs_write_super", "blocksize", "mke2fs.blocksize"},
+        {"mke2fs_write_super", "inode_size", "mke2fs.inode_size"},
+        {"mke2fs_write_super", "reserved_ratio", "mke2fs.reserved_ratio"},
+        {"mke2fs_write_super", "blocks_per_group", "mke2fs.blocks_per_group"},
+        {"mke2fs_write_super", "inode_ratio", "mke2fs.inode_ratio"},
+        {"mke2fs_write_super", "revision", "mke2fs.revision"},
+        {"mke2fs_write_super", "flex_bg_size", "mke2fs.flex_bg_size"},
+        {"mke2fs_write_super", "cluster_size", "mke2fs.cluster_size"},
+        {"mke2fs_write_super", "volume_label", "mke2fs.label"},
+        {"mke2fs_write_super", "resize_limit", "mke2fs.resize_limit"},
+        {"mke2fs_write_super", "meta_bg", "mke2fs.meta_bg"},
+        {"mke2fs_write_super", "resize_inode", "mke2fs.resize_inode"},
+        {"mke2fs_write_super", "sparse_super2", "mke2fs.sparse_super2"},
+        {"mke2fs_write_super", "bigalloc", "mke2fs.bigalloc"},
+        {"mke2fs_write_super", "extents", "mke2fs.extent"},
+        {"mke2fs_write_super", "has_64bit", "mke2fs.64bit"},
+        {"mke2fs_write_super", "quota", "mke2fs.quota"},
+        {"mke2fs_write_super", "has_journal", "mke2fs.has_journal"},
+        {"mke2fs_write_super", "journal_dev", "mke2fs.journal_dev"},
+        {"mke2fs_write_super", "uninit_bg", "mke2fs.uninit_bg"},
+        {"mke2fs_write_super", "metadata_csum", "mke2fs.metadata_csum"},
+        {"mke2fs_write_super", "flex_bg", "mke2fs.flex_bg"},
+        {"mke2fs_write_super", "inline_data", "mke2fs.inline_data"},
+        {"mke2fs_write_super", "encrypt", "mke2fs.encrypt"},
+    };
+  }
+  if (component == "mount") {
+    return {
+        {"mount_main", "commit_interval", "mount.commit"},
+        {"mount_main", "dax", "mount.dax"},
+        {"mount_main", "ro", "mount.ro"},
+        {"mount_main", "noload", "mount.noload"},
+    };
+  }
+  if (component == "ext4") {
+    return {
+        {"ext4_parse_options", "commit_interval", "mount.commit"},
+        {"ext4_parse_options", "stripe", "mount.stripe"},
+        {"ext4_parse_options", "inode_readahead_blks", "mount.inode_readahead_blks"},
+        {"ext4_parse_options", "max_batch_time", "mount.max_batch_time"},
+        {"ext4_parse_options", "min_batch_time", "mount.min_batch_time"},
+        {"ext4_fill_super", "dax", "mount.dax"},
+        {"ext4_fill_super", "data_journal", "mount.data_journal"},
+        {"ext4_fill_super", "data_writeback", "mount.data_writeback"},
+        {"ext4_fill_super", "noload", "mount.noload"},
+        {"ext4_fill_super", "ro", "mount.ro"},
+        {"ext4_fill_super", "journal_checksum", "mount.journal_checksum"},
+        {"ext4_fill_super", "journal_async_commit", "mount.journal_async_commit"},
+        {"ext4_fill_super", "usrjquota", "mount.usrjquota"},
+        {"ext4_fill_super", "jqfmt", "mount.jqfmt"},
+        {"ext4_fill_super", "dioread_nolock", "mount.dioread_nolock"},
+        {"ext4_fill_super", "delalloc", "mount.delalloc"},
+        {"ext4_fill_super", "nobh", "mount.nobh"},
+        {"ext4_setup_super", "min_batch_time", "mount.min_batch_time"},
+        {"ext4_setup_super", "max_batch_time", "mount.max_batch_time"},
+        {"ext4_remount", "data_journal", "mount.data_journal"},
+        {"ext4_remount", "auto_da_alloc", "mount.auto_da_alloc"},
+        {"ext4_online_defrag_check", "data_journal", "mount.data_journal"},
+        {"ext4_online_defrag_check", "auto_da_alloc", "mount.auto_da_alloc"},
+    };
+  }
+  if (component == "e4defrag") {
+    return {
+        {"e4defrag_main", "stat_only", "e4defrag.stat_only"},
+        {"e4defrag_main", "verbose", "e4defrag.verbose"},
+    };
+  }
+  if (component == "resize2fs") {
+    return {
+        {"resize2fs_main", "new_blocks", "resize2fs.size"},
+        {"resize2fs_main", "online", "resize2fs.online"},
+        {"resize2fs_main", "force", "resize2fs.force"},
+        {"resize2fs_main", "minimize", "resize2fs.minimize"},
+        {"resize2fs_check_geometry", "new_blocks", "resize2fs.size"},
+        {"resize2fs_check_geometry", "online", "resize2fs.online"},
+        {"resize2fs_check_geometry", "force", "resize2fs.force"},
+    };
+  }
+  if (component == "e2fsck") {
+    return {
+        {"e2fsck_main", "force", "e2fsck.force"},
+        {"e2fsck_main", "preen", "e2fsck.preen"},
+        {"e2fsck_main", "yes_mode", "e2fsck.yes"},
+        {"e2fsck_main", "no_mode", "e2fsck.no"},
+        {"e2fsck_main", "backup_super", "e2fsck.backup_super"},
+        {"e2fsck_main", "io_blocksize", "e2fsck.blocksize"},
+    };
+  }
+  if (component == "mkfs_xfs") {
+    return {
+        {"mkfs_xfs_main", "fs_blocks", "mkfs_xfs.size"},
+        {"mkfs_xfs_main", "blocksize", "mkfs_xfs.blocksize"},
+        {"mkfs_xfs_main", "inodesize", "mkfs_xfs.inodesize"},
+        {"mkfs_xfs_main", "agcount", "mkfs_xfs.agcount"},
+        {"mkfs_xfs_main", "logblocks", "mkfs_xfs.logblocks"},
+        {"mkfs_xfs_main", "imaxpct", "mkfs_xfs.imaxpct"},
+        {"mkfs_xfs_main", "crc", "mkfs_xfs.crc"},
+        {"mkfs_xfs_main", "ftype", "mkfs_xfs.ftype"},
+        {"mkfs_xfs_main", "reflink", "mkfs_xfs.reflink"},
+        {"mkfs_xfs_main", "rmapbt", "mkfs_xfs.rmapbt"},
+        {"mkfs_xfs_main", "bigtime", "mkfs_xfs.bigtime"},
+    };
+  }
+  if (component == "xfs") {
+    return {
+        {"xfs_parse_options", "logbufs", "xfs_mount.logbufs"},
+        {"xfs_parse_options", "logbsize", "xfs_mount.logbsize"},
+        {"xfs_parse_options", "wsync", "xfs_mount.wsync"},
+        {"xfs_parse_options", "noalign", "xfs_mount.noalign"},
+        {"xfs_parse_options", "norecovery", "xfs_mount.norecovery"},
+        {"xfs_parse_options", "ro", "xfs_mount.ro"},
+    };
+  }
+  if (component == "xfs_growfs") {
+    return {
+        {"xfs_growfs_main", "new_dblocks", "xfs_growfs.size"},
+        {"xfs_growfs_main", "dry_run", "xfs_growfs.dry_run"},
+    };
+  }
+  if (component == "mkfs_btrfs") {
+    return {
+        {"mkfs_btrfs_main", "sectorsize", "mkfs_btrfs.sectorsize"},
+        {"mkfs_btrfs_main", "nodesize", "mkfs_btrfs.nodesize"},
+        {"mkfs_btrfs_main", "num_devices", "mkfs_btrfs.num_devices"},
+        {"mkfs_btrfs_main", "total_bytes", "mkfs_btrfs.size"},
+        {"mkfs_btrfs_main", "data_profile", "mkfs_btrfs.data_profile"},
+        {"mkfs_btrfs_main", "meta_profile", "mkfs_btrfs.meta_profile"},
+        {"mkfs_btrfs_main", "mixed_bg", "mkfs_btrfs.mixed_bg"},
+        {"mkfs_btrfs_main", "raid56", "mkfs_btrfs.raid56"},
+        {"mkfs_btrfs_main", "no_holes", "mkfs_btrfs.no_holes"},
+    };
+  }
+  if (component == "btrfs") {
+    return {
+        {"btrfs_parse_options", "max_inline", "btrfs_mount.max_inline"},
+        {"btrfs_parse_options", "commit_interval", "btrfs_mount.commit"},
+        {"btrfs_parse_options", "thread_pool", "btrfs_mount.thread_pool"},
+        {"btrfs_parse_options", "compress", "btrfs_mount.compress"},
+        {"btrfs_parse_options", "autodefrag", "btrfs_mount.autodefrag"},
+        {"btrfs_parse_options", "nodatacow", "btrfs_mount.nodatacow"},
+        {"btrfs_parse_options", "nodatasum", "btrfs_mount.nodatasum"},
+    };
+  }
+  if (component == "btrfs_balance") {
+    return {
+        {"btrfs_balance_main", "convert_to", "btrfs_balance.convert"},
+        {"btrfs_balance_main", "to_raid1", "btrfs_balance.convert_raid1"},
+        {"btrfs_balance_main", "to_raid5", "btrfs_balance.convert_raid5"},
+        {"btrfs_balance_main", "force", "btrfs_balance.force"},
+    };
+  }
+  return {};
+}
+
+}  // namespace fsdep::corpus

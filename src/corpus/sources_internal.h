@@ -1,0 +1,27 @@
+// Internal: raw source text of the embedded corpus, one constant per file.
+#pragma once
+
+namespace fsdep::corpus {
+
+extern const char* kExt4FsHeader;   // "ext4_fs.h"
+extern const char* kLibcHeader;     // "fsdep_libc.h"
+extern const char* kMke2fsSource;   // "mke2fs.c"
+extern const char* kMountSource;    // "mount.c"
+extern const char* kExt4Source;     // "ext4.c"
+extern const char* kE4defragSource; // "e4defrag.c"
+extern const char* kResize2fsSource;// "resize2fs.c"
+extern const char* kE2fsckSource;   // "e2fsck.c"
+
+// The XFS mini-ecosystem (paper SS6 future work).
+extern const char* kXfsFsHeader;    // "xfs_fs.h"
+extern const char* kMkfsXfsSource;  // "mkfs_xfs.c"
+extern const char* kXfsKernelSource;// "xfs.c"
+extern const char* kXfsGrowfsSource;// "xfs_growfs.c"
+
+// The BtrFS mini-ecosystem (paper SS6 future work).
+extern const char* kBtrfsFsHeader;     // "btrfs_fs.h"
+extern const char* kMkfsBtrfsSource;   // "mkfs_btrfs.c"
+extern const char* kBtrfsKernelSource; // "btrfs.c"
+extern const char* kBtrfsBalanceSource;// "btrfs_balance.c"
+
+}  // namespace fsdep::corpus

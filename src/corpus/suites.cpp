@@ -1,0 +1,71 @@
+// Embedded test-suite manifests for the Table 2 coverage study. Each
+// case text mirrors the shell of a real xfstests / e2fsprogs-test case;
+// the coverage scanner counts which configuration parameters of the
+// target ever appear in any case.
+#include "corpus/corpus.h"
+
+namespace fsdep::corpus {
+
+std::vector<SuiteManifest> suiteManifests() {
+  std::vector<SuiteManifest> out;
+
+  SuiteManifest xfstest;
+  xfstest.suite = "xfstest";
+  xfstest.target = "ext4-ecosystem";
+  xfstest.case_texts = {
+      // generic/???-style cases exercising mkfs options.
+      "_scratch_mkfs -b 4096 -I 256 && _scratch_mount",
+      "_scratch_mkfs -b 1024 -N 2048 && _scratch_mount",
+      "_scratch_mkfs -i 8192 -m 1 && _scratch_mount",
+      "_scratch_mkfs -g 8192 -L scratchvol && _scratch_mount",
+      "_scratch_mkfs -U deadbeef-dead-beef-dead-beefdeadbeef",
+      "MKFS_OPTIONS=\"-O extent , has_journal\" _scratch_mkfs",
+      "MKFS_OPTIONS=\"-O bigalloc , extent\" _scratch_mkfs",
+      "MKFS_OPTIONS=\"-O 64bit , metadata_csum\" _scratch_mkfs",
+      "MKFS_OPTIONS=\"-O resize_inode\" _scratch_mkfs",
+      "MKFS_OPTIONS=\"-O sparse_super\" _scratch_mkfs",
+      "MKFS_OPTIONS=\"-O encrypt\" _scratch_mkfs && _scratch_mount",
+      // ext4/???-style cases exercising mount options.
+      "_scratch_mount -o dax && run_fsx",
+      "_scratch_mount -o data=journal && run_dbench",
+      "_scratch_mount -o data=ordered",
+      "_scratch_mount -o data=writeback , nodelalloc",
+      "_scratch_mount -o commit=1 && sleep 5",
+      "_scratch_mount -o stripe=64",
+      "_scratch_mount -o noload",
+      "_scratch_mount -o usrquota , grpquota",
+      "_scratch_mount -o noquota",
+      "_scratch_mount -o delalloc && run_aiodio",
+      "_scratch_mount -o discard && run_fstrim",
+  };
+  out.push_back(std::move(xfstest));
+
+  SuiteManifest fsck_suite;
+  fsck_suite.suite = "e2fsprogs-test";
+  fsck_suite.target = "e2fsck";
+  fsck_suite.case_texts = {
+      "e2fsck -f $TMPFILE > $OUT1 ; status=$?",
+      "e2fsck -p $TMPFILE >> $OUT",
+      "e2fsck -y $TMPFILE ; e2fsck -n $TMPFILE",
+      "e2fsck -b 32768 -B 1024 $TMPFILE",
+      "e2fsck -f -y $TMPFILE",
+  };
+  out.push_back(std::move(fsck_suite));
+
+  SuiteManifest resize_suite;
+  resize_suite.suite = "e2fsprogs-test";
+  resize_suite.target = "resize2fs";
+  resize_suite.case_texts = {
+      "resize2fs -M $TMPFILE",
+      "resize2fs -f $TMPFILE 1024",
+      "resize2fs -p $TMPFILE 65536",
+      "resize2fs -P $TMPFILE",
+      "resize2fs -d 31 $TMPFILE 512",
+      "resize2fs -b $TMPFILE && resize2fs -s $TMPFILE",
+  };
+  out.push_back(std::move(resize_suite));
+
+  return out;
+}
+
+}  // namespace fsdep::corpus

@@ -1,0 +1,682 @@
+#include "extract/extractor.h"
+
+#include <algorithm>
+
+namespace fsdep::extract {
+
+using namespace ast;
+using model::ConstraintOp;
+using model::DepKind;
+using model::Dependency;
+
+namespace {
+
+std::string componentOf(std::string_view qualified_param) {
+  const std::size_t dot = qualified_param.find('.');
+  return std::string(qualified_param.substr(0, dot));
+}
+
+std::string fieldNameOf(std::string_view field_key) {
+  const std::size_t dot = field_key.rfind('.');
+  return std::string(dot == std::string_view::npos ? field_key : field_key.substr(dot + 1));
+}
+
+std::string slug(std::string_view text) {
+  std::string out;
+  for (char c : text) out += (c == '.' || c == ' ') ? '-' : c;
+  return out;
+}
+
+constexpr std::int64_t kAllBits = -1;
+
+/// A parameter written into a metadata field, with the bitmask it set.
+struct FieldWriter {
+  std::string param;      ///< "mke2fs.sparse_super2"
+  std::string component;  ///< "mke2fs"
+  std::int64_t mask = kAllBits;
+};
+
+/// What one side of a comparison (or one flag atom) refers to.
+struct SideInfo {
+  std::vector<std::string> params;               ///< qualified param payloads
+  std::vector<std::string> field_keys;           ///< carried field labels
+  std::optional<std::int64_t> constant;
+};
+
+struct FieldRead {
+  std::string key;
+  std::int64_t mask = kAllBits;
+};
+
+class Extraction {
+ public:
+  Extraction(const std::vector<ComponentRun>& runs, const ExtractOptions& options)
+      : runs_(runs), options_(options) {}
+
+  std::vector<Dependency> run() {
+    buildWriterMap();
+    for (const ComponentRun& comp : runs_) {
+      extractSdTypes(comp);
+      const std::vector<Guard> guards =
+          collectGuards(*comp.analyzer, *comp.sema, options_.error_functions);
+      for (const Guard& guard : guards) {
+        if (guard.disposition == GuardDisposition::ErrorOnTrue ||
+            guard.disposition == GuardDisposition::ErrorOnFalse) {
+          for (const Violation& v : guard.violations) handleViolation(comp, guard, v);
+        } else if (guard.disposition == GuardDisposition::Behavioral) {
+          handleBehavioralGuard(comp, guard);
+        }
+      }
+      extractDerivations(comp);
+    }
+    emitSdRanges();
+    return std::move(deps_);
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Writer map (the metadata bridge)
+  // -------------------------------------------------------------------
+  void buildWriterMap() {
+    if (!options_.enable_bridging) return;
+    for (const ComponentRun& comp : runs_) {
+      for (const taint::WriteEvent* e : comp.analyzer->writeEvents()) {
+        if (!e->is_field) continue;
+        const std::int64_t mask = writeMask(*e, *comp.sema);
+        for (const taint::LabelId id : e->labels) {
+          if (!comp.analyzer->labels().isParam(id)) continue;
+          const std::string param(comp.analyzer->labels().payload(id));
+          writers_[e->field_key].push_back(FieldWriter{param, componentOf(param), mask});
+        }
+      }
+    }
+  }
+
+  static std::int64_t writeMask(const taint::WriteEvent& e, const sema::Sema& sema) {
+    if (e.rhs == nullptr) return kAllBits;
+    if (e.op == BinaryOp::OrAssign) {
+      if (const auto v = sema.foldConstant(*e.rhs)) return *v;
+      // `field |= (flag ? MASK : 0)`: the union of the foldable arms is
+      // the precise set of bits this write can set.
+      if (e.rhs->kind() == ExprKind::Conditional) {
+        const auto& c = static_cast<const ConditionalExpr&>(*e.rhs);
+        const auto t = sema.foldConstant(*c.then_expr);
+        const auto f = sema.foldConstant(*c.else_expr);
+        if (t || f) {
+          const std::int64_t mask = t.value_or(0) | f.value_or(0);
+          if (mask != 0) return mask;
+        }
+      }
+      return kAllBits;
+    }
+    if (e.op == BinaryOp::Assign && e.rhs->kind() == ExprKind::Binary) {
+      const auto& b = static_cast<const BinaryExpr&>(*e.rhs);
+      if (b.op == BinaryOp::BitOr) {
+        if (const auto v = sema.foldConstant(*b.rhs)) return *v;
+        if (const auto v = sema.foldConstant(*b.lhs)) return *v;
+      }
+    }
+    return kAllBits;
+  }
+
+  [[nodiscard]] std::vector<FieldWriter> writersOf(const std::string& field_key,
+                                                   std::int64_t mask) const {
+    std::vector<FieldWriter> out;
+    const auto it = writers_.find(field_key);
+    if (it == writers_.end()) return out;
+    for (const FieldWriter& w : it->second) {
+      if ((w.mask & mask) != 0) out.push_back(w);
+    }
+    // Deduplicate by param.
+    std::sort(out.begin(), out.end(),
+              [](const FieldWriter& a, const FieldWriter& b) { return a.param < b.param; });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const FieldWriter& a, const FieldWriter& b) {
+                            return a.param == b.param;
+                          }),
+              out.end());
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // SD: data types
+  // -------------------------------------------------------------------
+  void extractSdTypes(const ComponentRun& comp) {
+    for (const taint::WriteEvent* e : comp.analyzer->writeEvents()) {
+      if (e->is_field || e->rhs_callee.empty()) continue;
+      const auto type_it = options_.parser_types.find(e->rhs_callee);
+      if (type_it == options_.parser_types.end()) continue;
+      std::vector<std::string> params;
+      for (const taint::LabelId id : e->labels) {
+        if (comp.analyzer->labels().isParam(id)) {
+          params.emplace_back(comp.analyzer->labels().payload(id));
+        }
+      }
+      if (params.size() != 1) continue;
+      Dependency dep;
+      dep.kind = DepKind::SdDataType;
+      dep.op = ConstraintOp::HasType;
+      dep.param = params[0];
+      dep.type_name = type_it->second;
+      dep.id = "sd-type-" + slug(dep.param);
+      dep.description = dep.param + " must parse as " + dep.type_name + " (via " +
+                        e->rhs_callee + "())";
+      dep.evidence = SourceRange{e->loc, e->loc};
+      attachTrace(dep, comp, e->object);
+      emit(std::move(dep));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Violations (error guards)
+  // -------------------------------------------------------------------
+  void handleViolation(const ComponentRun& comp, const Guard& guard, const Violation& violation) {
+    struct FlagUnit {
+      std::string param;
+      std::string component;
+      bool negated = false;
+      std::string bridge;
+    };
+    std::vector<FlagUnit> flag_units;
+
+    for (const Atom& atom : violation) {
+      if (atom.is_comparison) {
+        handleComparisonAtom(comp, guard, atom);
+        continue;
+      }
+      // Flag-ish atom. Special numeric idioms first.
+      if (atom.expr->kind() == ExprKind::Binary) {
+        const auto& b = static_cast<const BinaryExpr&>(*atom.expr);
+        if (b.op == BinaryOp::Rem && !atom.negated) {
+          handleMultipleOf(comp, guard, b);
+          continue;
+        }
+        if (isPowerOfTwoTest(*atom.expr) && !atom.negated) {
+          handlePowerOfTwo(comp, guard, b);
+          continue;
+        }
+      }
+      // Generic flag: direct parameter(s) and/or a masked field test.
+      const SideInfo info = classify(comp, guard, *atom.expr);
+      for (const std::string& p : info.params) {
+        flag_units.push_back(FlagUnit{p, componentOf(p), atom.negated, ""});
+      }
+      if (options_.enable_bridging) {
+        const std::int64_t mask = bitTestMask(*atom.expr, *comp.sema).value_or(kAllBits);
+        for (const FieldRead& fr : fieldReadsIn(*atom.expr, *comp.sema, mask)) {
+          for (const FieldWriter& w : writersOf(fr.key, fr.mask)) {
+            flag_units.push_back(FlagUnit{w.param, w.component, atom.negated, fr.key});
+          }
+        }
+      }
+    }
+
+    // A parameter read directly and rediscovered through its own field
+    // write is one unit, not two.
+    std::sort(flag_units.begin(), flag_units.end(),
+              [](const FlagUnit& a, const FlagUnit& b) { return a.param < b.param; });
+    flag_units.erase(std::unique(flag_units.begin(), flag_units.end(),
+                                 [](const FlagUnit& a, const FlagUnit& b) {
+                                   return a.param == b.param;
+                                 }),
+                     flag_units.end());
+
+    // Pair rule: exactly two distinct flag units -> control dependency.
+    if (flag_units.size() == 2 && flag_units[0].param != flag_units[1].param) {
+      FlagUnit a = flag_units[0];
+      FlagUnit b = flag_units[1];
+      const bool cross = a.component != b.component;
+      Dependency dep;
+      dep.kind = cross ? DepKind::CcdControl : DepKind::CpdControl;
+      dep.bridge_field = !a.bridge.empty() ? a.bridge : b.bridge;
+      if (!a.negated && !b.negated) {
+        dep.op = ConstraintOp::Excludes;
+        dep.param = a.param;
+        dep.other_param = b.param;
+        dep.description = a.param + " cannot be combined with " + b.param;
+      } else if (a.negated != b.negated) {
+        // Violation (A && !B) => constraint A requires B.
+        const FlagUnit& pos = a.negated ? b : a;
+        const FlagUnit& neg = a.negated ? a : b;
+        dep.op = ConstraintOp::Requires;
+        dep.param = pos.param;
+        dep.other_param = neg.param;
+        dep.description = pos.param + " requires " + neg.param;
+      } else {
+        return;  // (!A && !B): "at least one required" — not modelled
+      }
+      dep.id = std::string(dep.kind == DepKind::CcdControl ? "ccd-control-" : "cpd-control-") +
+               slug(dep.param) + "-" + slug(dep.other_param);
+      dep.evidence = SourceRange{guard.condition->loc, guard.condition->loc};
+      dep.description += " (guard in " + guard.fn->name + ")";
+      attachGuardTrace(dep, comp, guard);
+      emit(std::move(dep));
+    }
+  }
+
+  void handleMultipleOf(const ComponentRun& comp, const Guard& guard, const BinaryExpr& rem) {
+    const auto divisor = comp.sema->foldConstant(*rem.rhs);
+    if (!divisor || *divisor <= 0) return;
+    const std::string param = soleParamOf(comp, guard, *rem.lhs);
+    if (param.empty()) return;
+    SdAgg& agg = sd_ranges_[param];
+    agg.multiple = *divisor;
+    noteEvidence(agg, comp, guard);
+  }
+
+  void handlePowerOfTwo(const ComponentRun& comp, const Guard& guard, const BinaryExpr& band) {
+    const std::string param = soleParamOf(comp, guard, *band.lhs);
+    if (param.empty()) return;
+    SdAgg& agg = sd_ranges_[param];
+    agg.pow2 = true;
+    noteEvidence(agg, comp, guard);
+  }
+
+  void handleComparisonAtom(const ComponentRun& comp, const Guard& guard, const Atom& atom) {
+    SideInfo lhs = classify(comp, guard, *atom.lhs);
+    SideInfo rhs = classify(comp, guard, *atom.rhs);
+    BinaryOp cmp = atom.cmp;
+
+    // Normalize: interesting side (param/field) on the left.
+    const bool lhs_interesting = !lhs.params.empty() || !lhs.field_keys.empty() ||
+                                 !fieldReadsIn(*atom.lhs, *comp.sema, kAllBits).empty();
+    if (!lhs_interesting && lhs.constant.has_value()) {
+      std::swap(lhs, rhs);
+      cmp = mirror(cmp);
+      handleNormalizedComparison(comp, guard, atom, *atom.rhs, *atom.lhs, lhs, rhs, cmp);
+      return;
+    }
+    handleNormalizedComparison(comp, guard, atom, *atom.lhs, *atom.rhs, lhs, rhs, cmp);
+  }
+
+  void handleNormalizedComparison(const ComponentRun& comp, const Guard& guard, const Atom& atom,
+                                  const Expr& lexpr, const Expr& rexpr, const SideInfo& lhs,
+                                  const SideInfo& rhs, BinaryOp cmp) {
+    // The atom is the VIOLATION; the constraint is its negation.
+    const BinaryOp constraint = negateCmp(cmp);
+
+    // Resolve the left anchor: a parameter, or a metadata field.
+    std::string left_param;
+    std::string left_bridge;
+    if (lhs.params.size() == 1) {
+      left_param = lhs.params[0];
+    } else if (lhs.params.empty()) {
+      // Field-only left side: attribute to the metadata owner.
+      const std::vector<FieldRead> reads = fieldReadsIn(lexpr, *comp.sema, kAllBits);
+      std::vector<std::string> keys = lhs.field_keys;
+      for (const FieldRead& fr : reads) keys.push_back(fr.key);
+      if (keys.empty()) return;
+      left_bridge = keys[0];
+      left_param = options_.metadata_owner + "." + fieldNameOf(keys[0]);
+    } else {
+      return;  // multiple parameters on one side: ambiguous, skip
+    }
+
+    // Case 1: right side constant -> SD range bound.
+    if (rhs.constant.has_value() && rhs.params.empty() && rhs.field_keys.empty()) {
+      addBound(comp, guard, left_param, constraint, *rhs.constant, left_bridge);
+      return;
+    }
+
+    // Resolve the right side to a parameter (direct or via field writers).
+    std::vector<std::pair<std::string, std::string>> right_params;  // (param, bridge)
+    if (rhs.params.size() == 1) {
+      right_params.emplace_back(rhs.params[0], "");
+    } else if (rhs.params.empty()) {
+      std::vector<std::string> keys = rhs.field_keys;
+      for (const FieldRead& fr : fieldReadsIn(rexpr, *comp.sema, kAllBits)) keys.push_back(fr.key);
+      for (const std::string& key : keys) {
+        for (const FieldWriter& w : writersOf(key, kAllBits)) {
+          right_params.emplace_back(w.param, key);
+        }
+      }
+    }
+    if (right_params.empty()) return;
+
+    // If the left side was field-only, try to rebind it to its writer so
+    // the dependency names the real source parameter when it exists.
+    std::vector<std::pair<std::string, std::string>> left_candidates;  // (param, bridge)
+    if (!left_bridge.empty()) {
+      for (const FieldWriter& w : writersOf(left_bridge, kAllBits)) {
+        left_candidates.emplace_back(w.param, left_bridge);
+      }
+      if (left_candidates.empty()) left_candidates.emplace_back(left_param, left_bridge);
+    } else {
+      left_candidates.emplace_back(left_param, "");
+    }
+
+    for (const auto& [lp, lbridge] : left_candidates) {
+      for (const auto& [rp, rbridge] : right_params) {
+        if (lp == rp) continue;
+        const bool cross = componentOf(lp) != componentOf(rp);
+        Dependency dep;
+        dep.kind = cross ? DepKind::CcdValue : DepKind::CpdValue;
+        dep.op = toConstraintOp(constraint);
+        dep.param = lp;
+        dep.other_param = rp;
+        dep.bridge_field = !rbridge.empty() ? rbridge : lbridge;
+        dep.id = std::string(cross ? "ccd-value-" : "cpd-value-") + slug(lp) + "-" + slug(rp);
+        dep.description = lp + " must satisfy: " + exprToString(lexpr) + " " +
+                          binaryOpSpelling(constraint) + " " + exprToString(rexpr) +
+                          " (guard in " + guard.fn->name + ")";
+        dep.evidence = SourceRange{atom.lhs->loc, atom.rhs->loc};
+        attachGuardTrace(dep, comp, guard);
+        emit(std::move(dep));
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Behavioral guards and derivations -> behavioral CCD
+  // -------------------------------------------------------------------
+  void handleBehavioralGuard(const ComponentRun& comp, const Guard& guard) {
+    if (!options_.enable_bridging) return;
+    const taint::LabelSet labels = comp.analyzer->labelsOf(*guard.condition, *guard.state);
+    std::vector<std::string> own_params;
+    std::vector<FieldRead> fields = fieldReadsIn(*guard.condition, *comp.sema, kAllBits);
+    std::set<std::string> read_keys;
+    for (const FieldRead& fr : fields) read_keys.insert(fr.key);
+    for (const taint::LabelId id : labels) {
+      if (comp.analyzer->labels().isParam(id)) {
+        own_params.emplace_back(comp.analyzer->labels().payload(id));
+      } else if (comp.analyzer->labels().isField(id)) {
+        // Carried field labels cover values *derived* from a field before
+        // the guard; a field the condition reads directly already has a
+        // (bit-precise) entry, which the unmasked carried label must not
+        // widen.
+        const std::string key(comp.analyzer->labels().payload(id));
+        if (!read_keys.contains(key)) fields.push_back(FieldRead{key, kAllBits});
+      }
+    }
+    for (const FieldRead& fr : fields) {
+      for (const FieldWriter& w : writersOf(fr.key, fr.mask)) {
+        std::string anchor;
+        if (!own_params.empty()) {
+          anchor = own_params[0];
+          if (componentOf(anchor) == w.component) continue;
+        } else {
+          if (w.component == comp.component) continue;
+          anchor = comp.component + "." + guard.fn->name;
+        }
+        emitBehavioral(comp, anchor, w.param, fr.key,
+                       "behavior of " + comp.component + "::" + guard.fn->name +
+                           " branches on " + fr.key,
+                       guard.condition->loc);
+      }
+    }
+  }
+
+  void extractDerivations(const ComponentRun& comp) {
+    if (!options_.enable_bridging) return;
+    for (const taint::WriteEvent* e : comp.analyzer->writeEvents()) {
+      if (e->is_field) continue;
+      std::vector<std::string> params;
+      std::vector<std::string> fields;
+      for (const taint::LabelId id : e->labels) {
+        if (comp.analyzer->labels().isParam(id)) {
+          params.emplace_back(comp.analyzer->labels().payload(id));
+        } else if (comp.analyzer->labels().isField(id)) {
+          fields.emplace_back(comp.analyzer->labels().payload(id));
+        }
+      }
+      if (params.empty() || fields.empty()) continue;
+      for (const std::string& p : params) {
+        for (const std::string& key : fields) {
+          for (const FieldWriter& w : writersOf(key, kAllBits)) {
+            if (w.component == componentOf(p)) continue;
+            emitBehavioral(comp, p, w.param, key,
+                           e->object + " is derived from both " + p + " and " + key, e->loc);
+          }
+        }
+      }
+    }
+  }
+
+  void emitBehavioral(const ComponentRun& comp, const std::string& anchor,
+                      const std::string& writer, const std::string& bridge,
+                      const std::string& description, SourceLoc loc) {
+    Dependency dep;
+    dep.kind = DepKind::CcdBehavioral;
+    dep.op = ConstraintOp::Influences;
+    dep.param = anchor;
+    dep.other_param = writer;
+    dep.bridge_field = bridge;
+    dep.id = "ccd-behavioral-" + slug(anchor) + "-" + slug(writer);
+    dep.description = description;
+    dep.evidence = SourceRange{loc, loc};
+    attachTrace(dep, comp, bridge);
+    emit(std::move(dep));
+  }
+
+  // -------------------------------------------------------------------
+  // SD range aggregation
+  // -------------------------------------------------------------------
+  struct SdAgg {
+    std::optional<std::int64_t> low;
+    std::optional<std::int64_t> high;
+    std::optional<std::int64_t> multiple;
+    bool pow2 = false;
+    std::string bridge;
+    SourceRange evidence;
+    std::vector<std::string> trace;
+  };
+
+  void addBound(const ComponentRun& comp, const Guard& guard, const std::string& param,
+                BinaryOp constraint, std::int64_t value, const std::string& bridge) {
+    SdAgg& agg = sd_ranges_[param];
+    switch (constraint) {
+      case BinaryOp::Ge: agg.low = std::max(agg.low.value_or(INT64_MIN), value); break;
+      case BinaryOp::Gt: agg.low = std::max(agg.low.value_or(INT64_MIN), value + 1); break;
+      case BinaryOp::Le: agg.high = std::min(agg.high.value_or(INT64_MAX), value); break;
+      case BinaryOp::Lt: agg.high = std::min(agg.high.value_or(INT64_MAX), value - 1); break;
+      default: return;  // ==/!= constraints are not ranges
+    }
+    if (!bridge.empty()) agg.bridge = bridge;
+    noteEvidence(agg, comp, guard);
+  }
+
+  void noteEvidence(SdAgg& agg, const ComponentRun& comp, const Guard& guard) {
+    if (!agg.evidence.valid()) {
+      agg.evidence = SourceRange{guard.condition->loc, guard.condition->loc};
+    }
+    const std::string step = "guard in " + comp.component + "::" + guard.fn->name + ": " +
+                             exprToString(*guard.condition);
+    // A two-sided range check contributes two bounds from one guard; keep
+    // the trace line once.
+    if (agg.trace.empty() || agg.trace.back() != step) agg.trace.push_back(step);
+  }
+
+  void emitSdRanges() {
+    for (auto& [param, agg] : sd_ranges_) {
+      Dependency dep;
+      dep.kind = DepKind::SdValueRange;
+      dep.param = param;
+      dep.bridge_field = agg.bridge;
+      dep.evidence = agg.evidence;
+      dep.trace = agg.trace;
+      if (agg.low || agg.high) {
+        dep.op = ConstraintOp::InRange;
+        dep.low = agg.low;
+        dep.high = agg.high;
+        dep.description = param + " must be in range [" +
+                          (agg.low ? std::to_string(*agg.low) : "-inf") + ", " +
+                          (agg.high ? std::to_string(*agg.high) : "+inf") + "]";
+        if (agg.multiple) dep.description += ", multiple of " + std::to_string(*agg.multiple);
+        if (agg.pow2) dep.description += ", power of two";
+      } else if (agg.multiple) {
+        dep.op = ConstraintOp::MultipleOf;
+        dep.low = agg.multiple;
+        dep.description = param + " must be a multiple of " + std::to_string(*agg.multiple);
+      } else if (agg.pow2) {
+        dep.op = ConstraintOp::PowerOfTwo;
+        dep.description = param + " must be a power of two";
+      } else {
+        continue;
+      }
+      dep.id = "sd-range-" + slug(param);
+      emit(std::move(dep));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Helpers
+  // -------------------------------------------------------------------
+  SideInfo classify(const ComponentRun& comp, const Guard& guard, const Expr& expr) const {
+    SideInfo info;
+    const taint::LabelSet labels = comp.analyzer->labelsOf(expr, *guard.state);
+    for (const taint::LabelId id : labels) {
+      if (comp.analyzer->labels().isParam(id)) {
+        info.params.emplace_back(comp.analyzer->labels().payload(id));
+      } else if (comp.analyzer->labels().isField(id)) {
+        info.field_keys.emplace_back(comp.analyzer->labels().payload(id));
+      }
+    }
+    std::sort(info.params.begin(), info.params.end());
+    info.params.erase(std::unique(info.params.begin(), info.params.end()), info.params.end());
+    // A side that carries a parameter is "the parameter's side"; its field
+    // labels are incidental (picked up while deriving the value).
+    if (!info.params.empty()) info.field_keys.clear();
+    info.constant = comp.sema->foldConstant(expr);
+    return info;
+  }
+
+  /// The single parameter an expression refers to, or "" when none/many.
+  std::string soleParamOf(const ComponentRun& comp, const Guard& guard, const Expr& expr) const {
+    const SideInfo info = classify(comp, guard, expr);
+    if (info.params.size() == 1) return info.params[0];
+    if (info.params.empty()) {
+      std::vector<std::string> keys = info.field_keys;
+      for (const FieldRead& fr : fieldReadsIn(expr, *comp.sema, kAllBits)) keys.push_back(fr.key);
+      if (!keys.empty()) return options_.metadata_owner + "." + fieldNameOf(keys[0]);
+    }
+    return "";
+  }
+
+  /// All metadata field reads inside `expr`; a read nested under `x & MASK`
+  /// gets that mask, `default_mask` otherwise.
+  static std::vector<FieldRead> fieldReadsIn(const Expr& expr, const sema::Sema& sema,
+                                             std::int64_t default_mask) {
+    std::vector<FieldRead> out;
+    collectFieldReads(expr, sema, default_mask, out);
+    return out;
+  }
+
+  static void collectFieldReads(const Expr& expr, const sema::Sema& sema, std::int64_t mask,
+                                std::vector<FieldRead>& out) {
+    switch (expr.kind()) {
+      case ExprKind::Member: {
+        const auto& m = static_cast<const MemberExpr&>(expr);
+        if (m.record != nullptr && m.field != nullptr) {
+          out.push_back(FieldRead{taint::fieldKey(m.record->name, m.field->name), mask});
+        }
+        collectFieldReads(*m.base, sema, mask, out);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        std::int64_t child_mask = mask;
+        if (b.op == BinaryOp::BitAnd) {
+          if (const auto v = bitTestMask(expr, sema)) child_mask = *v;
+        }
+        collectFieldReads(*b.lhs, sema, child_mask, out);
+        collectFieldReads(*b.rhs, sema, child_mask, out);
+        break;
+      }
+      case ExprKind::Unary:
+        collectFieldReads(*static_cast<const UnaryExpr&>(expr).operand, sema, mask, out);
+        break;
+      case ExprKind::Cast:
+        collectFieldReads(*static_cast<const CastExpr&>(expr).operand, sema, mask, out);
+        break;
+      case ExprKind::Index: {
+        const auto& i = static_cast<const IndexExpr&>(expr);
+        collectFieldReads(*i.base, sema, mask, out);
+        collectFieldReads(*i.index, sema, mask, out);
+        break;
+      }
+      case ExprKind::Call:
+        for (const ExprPtr& a : static_cast<const CallExpr&>(expr).args) {
+          collectFieldReads(*a, sema, mask, out);
+        }
+        break;
+      case ExprKind::Conditional: {
+        const auto& c = static_cast<const ConditionalExpr&>(expr);
+        collectFieldReads(*c.cond, sema, mask, out);
+        collectFieldReads(*c.then_expr, sema, mask, out);
+        collectFieldReads(*c.else_expr, sema, mask, out);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  static BinaryOp mirror(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Lt: return BinaryOp::Gt;
+      case BinaryOp::Le: return BinaryOp::Ge;
+      case BinaryOp::Gt: return BinaryOp::Lt;
+      case BinaryOp::Ge: return BinaryOp::Le;
+      default: return op;
+    }
+  }
+
+  static BinaryOp negateCmp(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Lt: return BinaryOp::Ge;
+      case BinaryOp::Le: return BinaryOp::Gt;
+      case BinaryOp::Gt: return BinaryOp::Le;
+      case BinaryOp::Ge: return BinaryOp::Lt;
+      case BinaryOp::Eq: return BinaryOp::Ne;
+      case BinaryOp::Ne: return BinaryOp::Eq;
+      default: return op;
+    }
+  }
+
+  static ConstraintOp toConstraintOp(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Lt: return ConstraintOp::Lt;
+      case BinaryOp::Le: return ConstraintOp::Le;
+      case BinaryOp::Gt: return ConstraintOp::Gt;
+      case BinaryOp::Ge: return ConstraintOp::Ge;
+      case BinaryOp::Eq: return ConstraintOp::Eq;
+      case BinaryOp::Ne: return ConstraintOp::Ne;
+      default: return ConstraintOp::Eq;
+    }
+  }
+
+  void attachTrace(Dependency& dep, const ComponentRun& comp, const std::string& object) {
+    if (const auto* trace = comp.analyzer->traceFor(object)) {
+      for (const taint::TraceStep& step : *trace) {
+        dep.trace.push_back("L" + std::to_string(step.loc.line) + ": " + step.text);
+      }
+    }
+  }
+
+  void attachGuardTrace(Dependency& dep, const ComponentRun& comp, const Guard& guard) {
+    dep.trace.push_back("guard in " + comp.component + "::" + guard.fn->name + ": if (" +
+                        exprToString(*guard.condition) + ")");
+  }
+
+  void emit(Dependency dep) {
+    const std::string key = dep.dedupKey();
+    if (!seen_.insert(key).second) return;
+    deps_.push_back(std::move(dep));
+  }
+
+  const std::vector<ComponentRun>& runs_;
+  const ExtractOptions& options_;
+  std::map<std::string, std::vector<FieldWriter>> writers_;
+  std::map<std::string, SdAgg> sd_ranges_;
+  std::set<std::string> seen_;
+  std::vector<Dependency> deps_;
+};
+
+}  // namespace
+
+std::vector<Dependency> extractDependencies(const std::vector<ComponentRun>& runs,
+                                            const ExtractOptions& options) {
+  return Extraction(runs, options).run();
+}
+
+}  // namespace fsdep::extract

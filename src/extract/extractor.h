@@ -1,0 +1,64 @@
+// The multi-level dependency extractor (paper §4.1).
+//
+// Input: per-component taint analyses (one Analyzer per component TU, run
+// over the scenario's pre-selected functions). Output: deduplicated
+// model::Dependency records.
+//
+// Rules (documented in DESIGN.md §5):
+//  SD-type   — a tainted variable assigned from a typed parser function
+//              (parse_num -> integer, parse_size -> size, ...).
+//  SD-range  — error guard comparing one parameter against a constant;
+//              bounds from multiple guards merge into one range. Guards on
+//              a metadata field against a constant become SD on the
+//              metadata owner's parameter (ext4.<field>), no matter which
+//              component performs the check — mirroring that the on-disk
+//              field is the parameter's persistent form.
+//  CPD       — error guard whose violation involves exactly two parameters
+//              of the same component: flag+flag -> control
+//              (excludes/requires), comparison -> value.
+//  CCD       — cross-component, bridged through shared metadata fields
+//              (paper's key observation): a guard or derivation in
+//              component B touching a field written with component A's
+//              parameter. Error guards give control/value CCDs; behavioral
+//              guards and multi-parameter derivations give behavioral CCDs.
+//              Feature bitmaps are matched bit-precisely: a test of
+//              `s_feature_compat & RESIZE_INODE` bridges only to writers
+//              whose written mask overlaps.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "extract/guards.h"
+#include "model/dependency.h"
+#include "taint/analyzer.h"
+
+namespace fsdep::extract {
+
+/// One component's analysis, ready for extraction.
+struct ComponentRun {
+  std::string component;          ///< e.g. "mke2fs"
+  bool is_kernel = false;
+  const taint::Analyzer* analyzer = nullptr;  ///< run() already executed
+  const sema::Sema* sema = nullptr;
+};
+
+struct ExtractOptions {
+  /// Component that owns the on-disk metadata (field-based SDs attach
+  /// here).
+  std::string metadata_owner = "ext4";
+  /// parser function name -> type name, for SD-type extraction.
+  std::map<std::string, std::string> parser_types;
+  /// callee names that mark an error path.
+  std::vector<std::string> error_functions;
+  /// Ablation knob: disable metadata bridging (CCD extraction collapses).
+  bool enable_bridging = true;
+};
+
+/// Extracts and deduplicates dependencies across the given component runs.
+std::vector<model::Dependency> extractDependencies(const std::vector<ComponentRun>& runs,
+                                                   const ExtractOptions& options);
+
+}  // namespace fsdep::extract

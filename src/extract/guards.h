@@ -1,0 +1,74 @@
+// Guard analysis: finds branch conditions, classifies each branch arm as
+// error-exit or normal continuation, and normalizes the *violation
+// condition* (the condition under which the error fires) into disjunctive
+// normal form of atoms. The dependency extractor pattern-matches those
+// atoms.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "cfg/cfg.h"
+#include "sema/sema.h"
+#include "taint/analyzer.h"
+
+namespace fsdep::extract {
+
+/// One atomic predicate of a violation condition, polarity-normalized.
+struct Atom {
+  const ast::Expr* expr = nullptr;  ///< the atom as written (without '!')
+  bool negated = false;             ///< true: the violation requires !expr
+
+  // Comparison decomposition (set when expr is a comparison after polarity
+  // folding: a negated `<` becomes `>=`, etc.).
+  bool is_comparison = false;
+  ast::BinaryOp cmp = ast::BinaryOp::Eq;
+  const ast::Expr* lhs = nullptr;
+  const ast::Expr* rhs = nullptr;
+};
+
+/// A conjunction of atoms; the whole conjunction triggers the error.
+using Violation = std::vector<Atom>;
+
+enum class GuardDisposition {
+  ErrorOnTrue,   ///< if (cond) fail();
+  ErrorOnFalse,  ///< if (!ok) continue; else fail();  (error on false arm)
+  Behavioral,    ///< both arms continue normally
+  Opaque,        ///< both arms error, or unreachable arms — skipped
+};
+
+struct Guard {
+  const ast::FunctionDecl* fn = nullptr;
+  cfg::BlockId block = cfg::kInvalidBlock;
+  const ast::Expr* condition = nullptr;
+  GuardDisposition disposition = GuardDisposition::Opaque;
+  /// DNF of the violation condition (empty for behavioral guards).
+  std::vector<Violation> violations;
+  /// Taint state at the condition.
+  const taint::TaintState* state = nullptr;
+};
+
+/// Collects guards from every analyzed function of `analyzer`.
+/// `error_functions` are callee names that mark a block as an error path
+/// (usage(), fail(), com_err(), ...); returning a negative constant also
+/// counts.
+std::vector<Guard> collectGuards(const taint::Analyzer& analyzer, const sema::Sema& sema,
+                                 const std::vector<std::string>& error_functions);
+
+/// Converts `cond` (negated when `negate`) to DNF. Exposed for tests.
+std::vector<Violation> toDnf(const ast::Expr& cond, bool negate);
+
+/// Finds the first Member expression inside `expr` (the metadata field a
+/// flag test reads), or nullptr.
+const ast::MemberExpr* findMemberRead(const ast::Expr& expr);
+
+/// If `expr` is a bit-test of the form `x & MASK` (either operand a
+/// foldable constant), returns the mask.
+std::optional<std::int64_t> bitTestMask(const ast::Expr& expr, const sema::Sema& sema);
+
+/// True when `expr` matches the power-of-two idiom `x & (x - 1)`.
+bool isPowerOfTwoTest(const ast::Expr& expr);
+
+}  // namespace fsdep::extract

@@ -1,0 +1,107 @@
+#include "extract/scoring.h"
+
+#include <map>
+
+namespace fsdep::extract {
+
+using model::DepLevel;
+using model::Dependency;
+
+namespace {
+
+LevelScore& levelOf(ScenarioScore& score, DepLevel level) {
+  switch (level) {
+    case DepLevel::SelfDependency: return score.sd;
+    case DepLevel::CrossParameter: return score.cpd;
+    case DepLevel::CrossComponent: return score.ccd;
+  }
+  return score.sd;
+}
+
+}  // namespace
+
+ScenarioScore scoreScenario(const std::string& scenario_id,
+                            const std::vector<Dependency>& extracted,
+                            const std::vector<GroundTruthEntry>& ground_truth) {
+  std::map<std::string, const GroundTruthEntry*> by_key;
+  for (const GroundTruthEntry& entry : ground_truth) by_key[entry.dep.dedupKey()] = &entry;
+
+  ScenarioScore score;
+  score.scenario = scenario_id;
+  std::set<std::string> extracted_keys;
+  for (const Dependency& dep : extracted) {
+    extracted_keys.insert(dep.dedupKey());
+    LevelScore& level = levelOf(score, dep.level());
+    ++level.extracted;
+    const auto it = by_key.find(dep.dedupKey());
+    if (it == by_key.end()) {
+      ++level.false_positives;
+      score.false_positive_deps.push_back(dep);
+      score.unlabelled.push_back(dep);
+    } else if (!it->second->valid_scenarios.contains(scenario_id)) {
+      ++level.false_positives;
+      score.false_positive_deps.push_back(dep);
+    }
+  }
+  for (const GroundTruthEntry& entry : ground_truth) {
+    if (entry.expected_scenarios.contains(scenario_id) &&
+        !extracted_keys.contains(entry.dep.dedupKey())) {
+      score.false_negative_ids.push_back(entry.dep.id);
+    }
+  }
+  return score;
+}
+
+std::vector<Dependency> dedupeAcrossScenarios(
+    const std::vector<std::vector<Dependency>>& per_scenario) {
+  std::vector<Dependency> unique;
+  std::set<std::string> seen;
+  for (const std::vector<Dependency>& deps : per_scenario) {
+    for (const Dependency& dep : deps) {
+      if (seen.insert(dep.dedupKey()).second) unique.push_back(dep);
+    }
+  }
+  return unique;
+}
+
+ScenarioScore scoreUnique(const std::vector<std::vector<Dependency>>& per_scenario,
+                          const std::vector<std::string>& scenario_ids,
+                          const std::vector<GroundTruthEntry>& ground_truth) {
+  std::map<std::string, const GroundTruthEntry*> by_key;
+  for (const GroundTruthEntry& entry : ground_truth) by_key[entry.dep.dedupKey()] = &entry;
+
+  // Which scenarios was each unique dependency extracted in?
+  std::map<std::string, std::set<std::size_t>> extracted_in;
+  for (std::size_t i = 0; i < per_scenario.size(); ++i) {
+    for (const Dependency& dep : per_scenario[i]) extracted_in[dep.dedupKey()].insert(i);
+  }
+
+  const std::vector<Dependency> unique = dedupeAcrossScenarios(per_scenario);
+
+  ScenarioScore score;
+  score.scenario = "unique";
+  for (const Dependency& dep : unique) {
+    LevelScore& level = levelOf(score, dep.level());
+    ++level.extracted;
+    const auto gt = by_key.find(dep.dedupKey());
+    if (gt == by_key.end()) {
+      ++level.false_positives;
+      score.false_positive_deps.push_back(dep);
+      score.unlabelled.push_back(dep);
+      continue;
+    }
+    bool spurious_somewhere = false;
+    for (const std::size_t idx : extracted_in[dep.dedupKey()]) {
+      if (idx < scenario_ids.size() && !gt->second->valid_scenarios.contains(scenario_ids[idx])) {
+        spurious_somewhere = true;
+      }
+    }
+    if (spurious_somewhere) {
+      ++level.false_positives;
+      score.false_positive_deps.push_back(dep);
+    }
+  }
+  return score;
+}
+
+}  // namespace fsdep::extract

@@ -1,0 +1,70 @@
+// Scoring of extracted dependencies against a labelled ground truth
+// (Table 5 of the paper). Ground-truth validity is *scenario-conditional*:
+// a dependency the analyzer extracts can be a true constraint in one usage
+// scenario and spurious in another (e.g. a mount-time tunable check that
+// says nothing about the offline-resize path). EXPERIMENTS.md discusses
+// how this reconciles the per-scenario FP columns of the paper's Table 5.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/dependency.h"
+
+namespace fsdep::extract {
+
+struct GroundTruthEntry {
+  /// Canonical form of the dependency; matching is by dedupKey().
+  model::Dependency dep;
+  /// Scenario ids in which this dependency is a TRUE constraint; when the
+  /// analyzer extracts it in any other scenario, that extraction is a
+  /// false positive.
+  std::set<std::string> valid_scenarios;
+  /// Scenario ids in which the (intra-procedural) analyzer is expected to
+  /// extract it at all — used for false-negative reporting.
+  std::set<std::string> expected_scenarios;
+  /// Why the dependency is spurious where it is not valid.
+  std::string fp_rationale;
+};
+
+struct LevelScore {
+  int extracted = 0;
+  int false_positives = 0;
+  [[nodiscard]] int truePositives() const { return extracted - false_positives; }
+};
+
+struct ScenarioScore {
+  std::string scenario;
+  LevelScore sd;
+  LevelScore cpd;
+  LevelScore ccd;
+  std::vector<model::Dependency> false_positive_deps;
+  std::vector<std::string> false_negative_ids;
+  /// Extractions with no ground-truth entry at all (should be empty for
+  /// the shipped corpus; reported for user-supplied code).
+  std::vector<model::Dependency> unlabelled;
+
+  [[nodiscard]] int totalExtracted() const { return sd.extracted + cpd.extracted + ccd.extracted; }
+  [[nodiscard]] int totalFalsePositives() const {
+    return sd.false_positives + cpd.false_positives + ccd.false_positives;
+  }
+};
+
+/// Scores one scenario's extraction output.
+ScenarioScore scoreScenario(const std::string& scenario_id,
+                            const std::vector<model::Dependency>& extracted,
+                            const std::vector<GroundTruthEntry>& ground_truth);
+
+/// Deduplicates dependencies across scenarios (paper's "Total Unique"
+/// row): keeps first occurrence by dedupKey.
+std::vector<model::Dependency> dedupeAcrossScenarios(
+    const std::vector<std::vector<model::Dependency>>& per_scenario);
+
+/// Scores the deduplicated union: a unique dependency is a false positive
+/// when it is spurious in at least one scenario where it was extracted.
+ScenarioScore scoreUnique(const std::vector<std::vector<model::Dependency>>& per_scenario,
+                          const std::vector<std::string>& scenario_ids,
+                          const std::vector<GroundTruthEntry>& ground_truth);
+
+}  // namespace fsdep::extract

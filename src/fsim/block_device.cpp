@@ -1,0 +1,74 @@
+#include "fsim/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fsdep::fsim {
+
+BlockDevice::BlockDevice(std::uint32_t block_count, std::uint32_t block_size)
+    : block_count_(block_count), block_size_(block_size) {
+  if (block_size == 0 || (block_size & (block_size - 1)) != 0) {
+    throw IoError("block size must be a nonzero power of two");
+  }
+  data_.assign(static_cast<std::size_t>(block_count) * block_size, 0);
+}
+
+void BlockDevice::checkRange(std::uint32_t block) const {
+  if (block >= block_count_) {
+    throw IoError("block " + std::to_string(block) + " out of range (device has " +
+                  std::to_string(block_count_) + " blocks)");
+  }
+}
+
+void BlockDevice::readBlock(std::uint32_t block, std::span<std::uint8_t> out) const {
+  checkRange(block);
+  if (bad_read_blocks_.contains(block)) {
+    throw IoError("injected read error at block " + std::to_string(block));
+  }
+  if (out.size() != block_size_) throw IoError("short read buffer");
+  ++reads_;
+  std::memcpy(out.data(), data_.data() + static_cast<std::size_t>(block) * block_size_,
+              block_size_);
+}
+
+void BlockDevice::writeBlock(std::uint32_t block, std::span<const std::uint8_t> data) {
+  checkRange(block);
+  if (bad_write_blocks_.contains(block)) {
+    throw IoError("injected write error at block " + std::to_string(block));
+  }
+  if (data.size() != block_size_) throw IoError("short write buffer");
+  ++writes_;
+  std::memcpy(data_.data() + static_cast<std::size_t>(block) * block_size_, data.data(),
+              block_size_);
+}
+
+void BlockDevice::readBytes(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  if (offset + out.size() > data_.size()) throw IoError("byte read out of range");
+  ++reads_;
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+void BlockDevice::writeBytes(std::uint64_t offset, std::span<const std::uint8_t> data) {
+  if (offset + data.size() > data_.size()) throw IoError("byte write out of range");
+  ++writes_;
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+}
+
+void BlockDevice::resize(std::uint32_t new_block_count) {
+  data_.resize(static_cast<std::size_t>(new_block_count) * block_size_, 0);
+  block_count_ = new_block_count;
+}
+
+void BlockDevice::corruptBlock(std::uint32_t block, std::uint32_t byte_offset) {
+  checkRange(block);
+  const std::size_t index =
+      static_cast<std::size_t>(block) * block_size_ + (byte_offset % block_size_);
+  data_[index] ^= 0xFF;
+}
+
+void BlockDevice::clearFaults() {
+  bad_read_blocks_.clear();
+  bad_write_blocks_.clear();
+}
+
+}  // namespace fsdep::fsim

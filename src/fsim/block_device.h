@@ -1,0 +1,65 @@
+// In-memory block device with fault injection. All fsim utilities go
+// through this interface, so media errors and torn writes can be injected
+// under any of them (ConHandleCk uses this).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fsdep::fsim {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(std::uint32_t block_count, std::uint32_t block_size);
+
+  [[nodiscard]] std::uint32_t blockCount() const { return block_count_; }
+  [[nodiscard]] std::uint32_t blockSize() const { return block_size_; }
+  [[nodiscard]] std::uint64_t sizeBytes() const {
+    return static_cast<std::uint64_t>(block_count_) * block_size_;
+  }
+
+  /// Reads one block. Throws IoError for out-of-range or injected faults.
+  void readBlock(std::uint32_t block, std::span<std::uint8_t> out) const;
+  void writeBlock(std::uint32_t block, std::span<const std::uint8_t> data);
+
+  /// Byte-granular access (the superblock lives at byte offset 1024).
+  void readBytes(std::uint64_t offset, std::span<std::uint8_t> out) const;
+  void writeBytes(std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  /// Grows (or shrinks) the device; new blocks are zeroed.
+  void resize(std::uint32_t new_block_count);
+
+  // --- Fault injection ---------------------------------------------
+  /// Any read of `block` fails with IoError.
+  void injectReadError(std::uint32_t block) { bad_read_blocks_.insert(block); }
+  /// Any write to `block` fails with IoError.
+  void injectWriteError(std::uint32_t block) { bad_write_blocks_.insert(block); }
+  /// Flips one byte in `block` (silent corruption).
+  void corruptBlock(std::uint32_t block, std::uint32_t byte_offset);
+  void clearFaults();
+
+  // --- Statistics ---------------------------------------------------
+  [[nodiscard]] std::uint64_t readCount() const { return reads_; }
+  [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
+
+ private:
+  void checkRange(std::uint32_t block) const;
+
+  std::uint32_t block_count_;
+  std::uint32_t block_size_;
+  std::vector<std::uint8_t> data_;
+  std::set<std::uint32_t> bad_read_blocks_;
+  std::set<std::uint32_t> bad_write_blocks_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace fsdep::fsim

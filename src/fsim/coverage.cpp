@@ -1,0 +1,14 @@
+#include "fsim/coverage.h"
+
+namespace fsdep::fsim {
+
+CoverageRegistry& CoverageRegistry::instance() {
+  static CoverageRegistry registry;
+  return registry;
+}
+
+void CoverageRegistry::hit(std::string_view point) { points_.insert(std::string(point)); }
+
+void CoverageRegistry::reset() { points_.clear(); }
+
+}  // namespace fsdep::fsim

@@ -1,0 +1,32 @@
+// Coverage points: fsim code paths register the configuration-dependent
+// branches they take. ConBugCk measures how deep a configuration drives
+// the tools by counting distinct points (paper §4.2: "allow the enhanced
+// tool to drive deeply into the target code area").
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace fsdep::fsim {
+
+class CoverageRegistry {
+ public:
+  static CoverageRegistry& instance();
+
+  void hit(std::string_view point);
+  void reset();
+  [[nodiscard]] std::size_t distinctPoints() const { return points_.size(); }
+  [[nodiscard]] const std::set<std::string>& points() const { return points_; }
+  [[nodiscard]] bool wasHit(std::string_view point) const {
+    return points_.contains(std::string(point));
+  }
+
+ private:
+  std::set<std::string> points_;
+};
+
+/// Convenience wrapper used across fsim.
+inline void coverPoint(std::string_view point) { CoverageRegistry::instance().hit(point); }
+
+}  // namespace fsdep::fsim

@@ -1,0 +1,43 @@
+// DefragTool: the Online stage's e4defrag. Measures per-file
+// fragmentation (extent count relative to the ideal single extent) and
+// rewrites fragmented files into contiguous space when possible. Requires
+// the extent feature — the cross-component dependency the study's s2
+// scenario hinges on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/mount.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+struct DefragOptions {
+  bool stat_only = false;  ///< -c: report, do not move
+  bool verbose = false;
+};
+
+struct DefragFileReport {
+  std::uint32_t ino = 0;
+  std::uint32_t extents_before = 0;
+  std::uint32_t extents_after = 0;
+};
+
+struct DefragReport {
+  std::vector<DefragFileReport> files;
+  std::uint32_t defragmented = 0;
+
+  [[nodiscard]] double averageExtentsBefore() const;
+  [[nodiscard]] double averageExtentsAfter() const;
+};
+
+class DefragTool {
+ public:
+  /// Defragments every in-use file of the mounted filesystem.
+  static Result<DefragReport> run(MountedFs& fs, BlockDevice& device,
+                                  const DefragOptions& options = {});
+};
+
+}  // namespace fsdep::fsim

@@ -1,0 +1,45 @@
+// FsckTool: the offline checker. Verifies superblock invariants,
+// bitmap-vs-count consistency per group and in total, inode accounting,
+// backup superblock freshness and feature sanity; optionally repairs.
+// This is the oracle that detects the Figure 1 corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/image.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+enum class ProblemSeverity : std::uint8_t { Note, Inconsistency, Corruption };
+
+struct FsckProblem {
+  ProblemSeverity severity = ProblemSeverity::Inconsistency;
+  std::string description;
+  bool fixed = false;
+};
+
+struct FsckOptions {
+  bool force = false;   ///< check even when the fs looks clean
+  bool repair = false;  ///< fix what can be fixed (like -y)
+  /// Recover using the backup superblock in this group (0 = primary).
+  std::uint32_t backup_group = 0;
+};
+
+struct FsckReport {
+  std::vector<FsckProblem> problems;
+  bool clean_skip = false;  ///< clean fs and !force: nothing checked
+
+  [[nodiscard]] bool isClean() const { return problems.empty(); }
+  [[nodiscard]] int corruptionCount() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+class FsckTool {
+ public:
+  static Result<FsckReport> check(BlockDevice& device, const FsckOptions& options = {});
+};
+
+}  // namespace fsdep::fsim

@@ -1,0 +1,308 @@
+#include "fsim/image.h"
+
+#include <algorithm>
+
+namespace fsdep::fsim {
+
+Bitmap Bitmap::fromBytes(std::vector<std::uint8_t> bytes, std::uint32_t bit_count) {
+  Bitmap b;
+  b.bits_ = std::move(bytes);
+  b.count_ = bit_count;
+  b.bits_.resize((bit_count + 7) / 8, 0);
+  return b;
+}
+
+bool Bitmap::get(std::uint32_t bit) const {
+  if (bit >= count_) return true;  // out-of-range bits read as "in use"
+  return (bits_[bit / 8] >> (bit % 8)) & 1;
+}
+
+void Bitmap::set(std::uint32_t bit, bool value) {
+  if (bit >= count_) return;
+  if (value) {
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  } else {
+    bits_[bit / 8] &= static_cast<std::uint8_t>(~(1u << (bit % 8)));
+  }
+}
+
+std::uint32_t Bitmap::countSet(std::uint32_t limit) const {
+  std::uint32_t n = 0;
+  const std::uint32_t end = std::min(limit, count_);
+  for (std::uint32_t i = 0; i < end; ++i) n += get(i) ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Superblock
+// ---------------------------------------------------------------------
+
+Superblock FsImage::loadSuperblock() const {
+  std::uint8_t buf[Superblock::kDiskSize];
+  device_.readBytes(kSuperblockOffset, buf);
+  return Superblock::deserialize(buf);
+}
+
+void FsImage::storeSuperblock(const Superblock& sb) {
+  std::uint8_t buf[Superblock::kDiskSize];
+  sb.serialize(buf);
+  device_.writeBytes(kSuperblockOffset, buf);
+}
+
+void FsImage::storeSuperblockWithBackups(const Superblock& sb) {
+  storeSuperblock(sb);
+  std::uint8_t buf[Superblock::kDiskSize];
+  sb.serialize(buf);
+  for (const std::uint32_t group : backupGroups(sb)) {
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(groupFirstBlock(sb, group)) * sb.blockSize();
+    device_.writeBytes(offset, buf);
+  }
+}
+
+Superblock FsImage::loadBackupSuperblock(std::uint32_t group) const {
+  const Superblock primary = loadSuperblock();
+  std::uint8_t buf[Superblock::kDiskSize];
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(groupFirstBlock(primary, group)) * primary.blockSize();
+  device_.readBytes(offset, buf);
+  return Superblock::deserialize(buf);
+}
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+std::uint32_t FsImage::groupFirstBlock(const Superblock& sb, std::uint32_t group) {
+  return sb.first_data_block + group * sb.blocks_per_group;
+}
+
+std::uint32_t FsImage::inodeTableBlocks(const Superblock& sb) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(sb.inodes_per_group) * sb.inode_size;
+  return static_cast<std::uint32_t>((bytes + sb.blockSize() - 1) / sb.blockSize());
+}
+
+std::uint32_t FsImage::descTableBlock(const Superblock& sb) {
+  // Directly after the primary superblock's block.
+  return sb.first_data_block + 1;
+}
+
+namespace {
+
+bool groupHasSuperblockCopy(const Superblock& sb, std::uint32_t group) {
+  if (group == 0) return true;
+  for (const std::uint32_t g : backupGroups(sb)) {
+    if (g == group) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t FsImage::groupMetadataBlocks(const Superblock& sb, std::uint32_t group) {
+  std::uint32_t blocks = 0;
+  if (groupHasSuperblockCopy(sb, group)) blocks += 2;  // sb copy + descriptor copy
+  blocks += 2;                                         // block bitmap + inode bitmap
+  blocks += inodeTableBlocks(sb);
+  blocks += sb.reserved_gdt_blocks;
+  return blocks;
+}
+
+// ---------------------------------------------------------------------
+// Group descriptors
+// ---------------------------------------------------------------------
+
+GroupDesc FsImage::loadGroupDesc(const Superblock& sb, std::uint32_t group) const {
+  std::uint8_t buf[GroupDesc::kDiskSize];
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(descTableBlock(sb)) * sb.blockSize() +
+      static_cast<std::uint64_t>(group) * GroupDesc::kDiskSize;
+  device_.readBytes(offset, buf);
+  return GroupDesc::deserialize(buf);
+}
+
+void FsImage::storeGroupDesc(const Superblock& sb, std::uint32_t group, const GroupDesc& gd) {
+  std::uint8_t buf[GroupDesc::kDiskSize];
+  gd.serialize(buf);
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(descTableBlock(sb)) * sb.blockSize() +
+      static_cast<std::uint64_t>(group) * GroupDesc::kDiskSize;
+  device_.writeBytes(offset, buf);
+}
+
+// ---------------------------------------------------------------------
+// Bitmaps
+// ---------------------------------------------------------------------
+
+Bitmap FsImage::loadBlockBitmap(const Superblock& sb, std::uint32_t group) const {
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  std::vector<std::uint8_t> buf(sb.blockSize());
+  device_.readBlock(gd.block_bitmap, buf);
+  return Bitmap::fromBytes(std::move(buf), sb.blocksInGroup(group));
+}
+
+void FsImage::storeBlockBitmap(const Superblock& sb, std::uint32_t group, const Bitmap& bitmap) {
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  std::vector<std::uint8_t> buf(sb.blockSize(), 0);
+  const std::vector<std::uint8_t>& bytes = bitmap.bytes();
+  std::copy(bytes.begin(), bytes.begin() + std::min(bytes.size(), buf.size()), buf.begin());
+  device_.writeBlock(gd.block_bitmap, buf);
+}
+
+Bitmap FsImage::loadInodeBitmap(const Superblock& sb, std::uint32_t group) const {
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  std::vector<std::uint8_t> buf(sb.blockSize());
+  device_.readBlock(gd.inode_bitmap, buf);
+  return Bitmap::fromBytes(std::move(buf), sb.inodes_per_group);
+}
+
+void FsImage::storeInodeBitmap(const Superblock& sb, std::uint32_t group, const Bitmap& bitmap) {
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  std::vector<std::uint8_t> buf(sb.blockSize(), 0);
+  const std::vector<std::uint8_t>& bytes = bitmap.bytes();
+  std::copy(bytes.begin(), bytes.begin() + std::min(bytes.size(), buf.size()), buf.begin());
+  device_.writeBlock(gd.inode_bitmap, buf);
+}
+
+// ---------------------------------------------------------------------
+// Inodes
+// ---------------------------------------------------------------------
+
+Inode FsImage::loadInode(const Superblock& sb, std::uint32_t ino) const {
+  if (ino == 0 || ino > sb.inodes_count) throw IoError("inode number out of range");
+  const std::uint32_t index = ino - 1;
+  const std::uint32_t group = index / sb.inodes_per_group;
+  const std::uint32_t slot = index % sb.inodes_per_group;
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(gd.inode_table) * sb.blockSize() +
+      static_cast<std::uint64_t>(slot) * sb.inode_size;
+  std::uint8_t buf[Inode::kDiskSize];
+  device_.readBytes(offset, buf);
+  return Inode::deserialize(buf);
+}
+
+void FsImage::storeInode(const Superblock& sb, std::uint32_t ino, const Inode& inode) {
+  if (ino == 0 || ino > sb.inodes_count) throw IoError("inode number out of range");
+  const std::uint32_t index = ino - 1;
+  const std::uint32_t group = index / sb.inodes_per_group;
+  const std::uint32_t slot = index % sb.inodes_per_group;
+  const GroupDesc gd = loadGroupDesc(sb, group);
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(gd.inode_table) * sb.blockSize() +
+      static_cast<std::uint64_t>(slot) * sb.inode_size;
+  std::uint8_t buf[Inode::kDiskSize];
+  inode.serialize(buf);
+  device_.writeBytes(offset, buf);
+}
+
+// ---------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------
+
+std::vector<Extent> FsImage::allocateBlocks(Superblock& sb, std::uint32_t count) {
+  std::vector<Extent> extents;
+  std::uint32_t remaining = count;
+  const std::uint32_t groups = sb.groupCount();
+  for (std::uint32_t group = 0; group < groups && remaining > 0; ++group) {
+    Bitmap bitmap = loadBlockBitmap(sb, group);
+    GroupDesc gd = loadGroupDesc(sb, group);
+    const std::uint32_t in_group = sb.blocksInGroup(group);
+    bool dirty = false;
+    std::uint32_t run_start = 0;
+    std::uint32_t run_len = 0;
+    for (std::uint32_t bit = 0; bit < in_group && remaining > 0; ++bit) {
+      if (!bitmap.get(bit)) {
+        if (run_len == 0) run_start = bit;
+        bitmap.set(bit, true);
+        ++run_len;
+        --remaining;
+        dirty = true;
+        if (gd.free_blocks_count > 0) --gd.free_blocks_count;
+        if (sb.free_blocks_count > 0) --sb.free_blocks_count;
+      } else if (run_len > 0) {
+        extents.push_back(
+            Extent{groupFirstBlock(sb, group) + run_start, run_len});
+        run_len = 0;
+      }
+    }
+    if (run_len > 0) {
+      extents.push_back(Extent{groupFirstBlock(sb, group) + run_start, run_len});
+    }
+    if (dirty) {
+      storeBlockBitmap(sb, group, bitmap);
+      storeGroupDesc(sb, group, gd);
+    }
+  }
+  if (remaining > 0) {
+    freeExtents(sb, extents);
+    throw IoError("filesystem full: could not allocate " + std::to_string(count) + " blocks");
+  }
+  sb.updateChecksum();
+  storeSuperblock(sb);
+  return extents;
+}
+
+void FsImage::freeExtents(Superblock& sb, const std::vector<Extent>& extents) {
+  for (const Extent& e : extents) {
+    for (std::uint32_t i = 0; i < e.length; ++i) {
+      const std::uint32_t block = e.start + i;
+      const std::uint32_t group = (block - sb.first_data_block) / sb.blocks_per_group;
+      const std::uint32_t bit = (block - sb.first_data_block) % sb.blocks_per_group;
+      Bitmap bitmap = loadBlockBitmap(sb, group);
+      if (bitmap.get(bit)) {
+        bitmap.set(bit, false);
+        storeBlockBitmap(sb, group, bitmap);
+        GroupDesc gd = loadGroupDesc(sb, group);
+        ++gd.free_blocks_count;
+        storeGroupDesc(sb, group, gd);
+        ++sb.free_blocks_count;
+      }
+    }
+  }
+  sb.updateChecksum();
+  storeSuperblock(sb);
+}
+
+std::uint32_t FsImage::allocateInode(Superblock& sb) {
+  const std::uint32_t groups = sb.groupCount();
+  for (std::uint32_t group = 0; group < groups; ++group) {
+    Bitmap bitmap = loadInodeBitmap(sb, group);
+    for (std::uint32_t slot = 0; slot < sb.inodes_per_group; ++slot) {
+      const std::uint32_t ino = group * sb.inodes_per_group + slot + 1;
+      if (ino < sb.first_inode) continue;
+      if (ino > sb.inodes_count) break;
+      if (!bitmap.get(slot)) {
+        bitmap.set(slot, true);
+        storeInodeBitmap(sb, group, bitmap);
+        GroupDesc gd = loadGroupDesc(sb, group);
+        if (gd.free_inodes_count > 0) --gd.free_inodes_count;
+        storeGroupDesc(sb, group, gd);
+        if (sb.free_inodes_count > 0) --sb.free_inodes_count;
+        sb.updateChecksum();
+        storeSuperblock(sb);
+        return ino;
+      }
+    }
+  }
+  return 0;
+}
+
+void FsImage::freeInode(Superblock& sb, std::uint32_t ino) {
+  if (ino == 0 || ino > sb.inodes_count) return;
+  const std::uint32_t index = ino - 1;
+  const std::uint32_t group = index / sb.inodes_per_group;
+  const std::uint32_t slot = index % sb.inodes_per_group;
+  Bitmap bitmap = loadInodeBitmap(sb, group);
+  if (!bitmap.get(slot)) return;
+  bitmap.set(slot, false);
+  storeInodeBitmap(sb, group, bitmap);
+  GroupDesc gd = loadGroupDesc(sb, group);
+  ++gd.free_inodes_count;
+  storeGroupDesc(sb, group, gd);
+  ++sb.free_inodes_count;
+  sb.updateChecksum();
+  storeSuperblock(sb);
+}
+
+}  // namespace fsdep::fsim

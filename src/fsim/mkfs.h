@@ -1,0 +1,56 @@
+// MkfsTool: creates an fsim filesystem on a block device — the Create
+// stage of the paper's Figure 2. Option validation implements the same
+// dependency set the static analyzer extracts from the corpus, so
+// ConHandleCk can compare "what the code enforces" against "what the
+// dependencies say".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/image.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+struct MkfsOptions {
+  std::uint32_t size_blocks = 0;       ///< 0 = whole device
+  std::uint32_t block_size = 4096;
+  std::uint16_t inode_size = 256;
+  std::uint32_t inode_ratio = 16384;   ///< bytes per inode
+  std::uint32_t reserved_ratio = 5;    ///< percent
+  std::uint32_t blocks_per_group = 0;  ///< 0 = 8 * block_size
+  std::string label;
+
+  bool sparse_super = true;
+  bool sparse_super2 = false;
+  bool resize_inode = true;
+  std::uint32_t resize_limit_blocks = 0;  ///< -E resize=N (0 = default)
+  bool meta_bg = false;
+  bool extents = true;
+  bool has_64bit = false;
+  bool quota = false;
+  bool has_journal = true;
+  bool uninit_bg = false;
+  bool metadata_csum = false;
+  bool flex_bg = true;
+  bool inline_data = false;
+  bool encrypt = false;
+  bool bigalloc = false;
+  std::uint32_t cluster_size = 0;  ///< only with bigalloc
+};
+
+class MkfsTool {
+ public:
+  /// Validates options against the multi-level dependency set. Returns
+  /// the list of violated constraints (empty = valid).
+  static std::vector<std::string> validate(const MkfsOptions& options,
+                                           std::uint64_t device_bytes);
+
+  /// Formats the device. Returns the written superblock or an error when
+  /// validation fails / the device is too small.
+  static Result<Superblock> format(BlockDevice& device, const MkfsOptions& options);
+};
+
+}  // namespace fsdep::fsim

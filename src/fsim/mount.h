@@ -1,0 +1,81 @@
+// MountTool + MountedFs: the Mount stage of Figure 2. Mounting validates
+// the superblock (the kernel-side checks) and the mount-option
+// interactions, then exposes a minimal file API (create / write / read /
+// remove) backed by the extent allocator — enough surface for the defrag
+// tool and for ConBugCk to drive real work under many configurations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsim/image.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+enum class DataMode : std::uint8_t { Ordered, Journal, Writeback };
+
+struct MountOptions {
+  bool read_only = false;
+  bool dax = false;
+  DataMode data_mode = DataMode::Ordered;
+  bool noload = false;
+  std::uint32_t commit_interval = 5;
+  std::uint32_t stripe = 0;
+  std::uint32_t inode_readahead_blks = 32;
+  std::uint32_t max_batch_time = 15000;
+  std::uint32_t min_batch_time = 0;
+  bool journal_checksum = false;
+  bool journal_async_commit = false;
+  bool dioread_nolock = false;
+  bool delalloc = true;
+  bool auto_da_alloc = true;
+};
+
+/// A mounted filesystem handle. Owns no storage; borrows the device.
+class MountedFs {
+ public:
+  MountedFs(BlockDevice& device, Superblock sb, MountOptions options);
+
+  [[nodiscard]] const Superblock& superblock() const { return sb_; }
+  [[nodiscard]] const MountOptions& options() const { return options_; }
+
+  /// Creates a file of `size_bytes`; `max_extent_blocks` caps each
+  /// allocation run to force fragmentation (0 = unlimited). Returns the
+  /// inode number.
+  Result<std::uint32_t> createFile(std::uint32_t size_bytes, std::uint32_t max_extent_blocks = 0);
+  Result<bool> removeFile(std::uint32_t ino);
+  [[nodiscard]] std::optional<Inode> statFile(std::uint32_t ino) const;
+
+  /// Unmounts: writes back the superblock with a clean state and a
+  /// quiescent journal.
+  void unmount();
+
+  /// Simulates a crash: the handle dies WITHOUT the clean unmount write,
+  /// leaving the journal dirty on a journalled filesystem. The next mount
+  /// replays; fsck flags the recovery requirement.
+  void crash() { mounted_ = false; }
+
+ private:
+  BlockDevice& device_;
+  FsImage image_;
+  Superblock sb_;
+  MountOptions options_;
+  bool mounted_ = true;
+};
+
+class MountTool {
+ public:
+  /// Option-interaction validation (the ext4_fill_super checks).
+  static std::vector<std::string> validateOptions(const MountOptions& options,
+                                                  const Superblock& sb);
+  /// Superblock validation independent of options.
+  static std::vector<std::string> validateSuperblock(const Superblock& sb);
+
+  /// Mounts the filesystem on `device`.
+  static Result<MountedFs> mount(BlockDevice& device, const MountOptions& options);
+};
+
+}  // namespace fsdep::fsim

@@ -1,0 +1,48 @@
+// ResizeTool: the Offline stage's resize2fs. Grows or shrinks an
+// unmounted fsim filesystem.
+//
+// The historical sparse_super2 bug of the paper's Figure 1 is modelled
+// faithfully: when expanding a filesystem whose sparse_super2 feature is
+// enabled, the last group's free-block accounting is computed BEFORE the
+// new blocks are appended (and the relocated backup superblock is placed
+// using the stale group count), leaving the free-block totals
+// inconsistent with the bitmaps — which fsck then reports as metadata
+// corruption. Construct the tool with `fix_sparse_super2_accounting =
+// true` for the repaired behaviour; the default mirrors the buggy
+// release so the experiment reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/image.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+struct ResizeOptions {
+  std::uint32_t new_size_blocks = 0;
+  bool force = false;
+  bool online = false;  ///< resize while mounted (needs resize_inode)
+  /// Historical-bug switch (see file comment).
+  bool fix_sparse_super2_accounting = false;
+};
+
+struct ResizeReport {
+  std::uint32_t old_blocks = 0;
+  std::uint32_t new_blocks = 0;
+  bool grew = false;
+  std::vector<std::string> notes;
+};
+
+class ResizeTool {
+ public:
+  /// Pre-flight checks (the resize2fs_check_geometry dependencies).
+  static std::vector<std::string> validate(const Superblock& sb, const ResizeOptions& options);
+
+  /// Performs the resize. The device itself is grown when needed.
+  static Result<ResizeReport> resize(BlockDevice& device, const ResizeOptions& options);
+};
+
+}  // namespace fsdep::fsim

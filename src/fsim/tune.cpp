@@ -1,0 +1,142 @@
+#include "fsim/tune.h"
+
+#include <cstring>
+
+#include "fsim/coverage.h"
+
+namespace fsdep::fsim {
+
+std::vector<std::string> TuneTool::validate(const Superblock& sb, const TuneOptions& o) {
+  std::vector<std::string> violations;
+  auto violated = [&](const std::string& what) { violations.push_back(what); };
+
+  // Resolve the post-change feature state.
+  const bool journal = o.has_journal.value_or(sb.hasCompat(kCompatHasJournal));
+  const bool csum = o.metadata_csum.value_or(sb.hasRoCompat(kRoCompatMetadataCsum));
+  const bool uninit = o.uninit_bg.value_or(false);  // gdt_csum modelled as set-only
+  const bool quota = o.quota.value_or(sb.hasRoCompat(kRoCompatQuota));
+  const bool sparse2 = o.sparse_super2.value_or(sb.hasCompat(kCompatSparseSuper2));
+
+  if (quota && !journal) {
+    violated("mke2fs.quota requires mke2fs.has_journal (cannot drop the journal of a "
+             "quota filesystem)");
+  }
+  if (csum && uninit) {
+    violated("mke2fs.uninit_bg excludes mke2fs.metadata_csum");
+  }
+  if (sparse2 && sb.hasCompat(kCompatResizeInode)) {
+    violated("mke2fs.sparse_super2 excludes mke2fs.resize_inode (remove the resize inode "
+             "first)");
+  }
+  if (o.has_journal.has_value() && !*o.has_journal && sb.journal_dirty != 0) {
+    violated("cannot remove a journal that still needs recovery");
+  }
+  if (o.reserved_blocks_count.has_value() &&
+      *o.reserved_blocks_count > sb.blocks_count / 2) {
+    violated("mke2fs.reserved_ratio: reserved blocks cannot exceed half the filesystem");
+  }
+  return violations;
+}
+
+Result<TuneReport> TuneTool::tune(BlockDevice& device, const TuneOptions& o) {
+  FsImage image(device);
+  Superblock sb = image.loadSuperblock();
+  if (sb.magic != kExt4Magic) return makeError("tune2fs: not an fsim/ext4 filesystem");
+  if ((sb.state & kStateValid) == 0) {
+    return makeError("tune2fs: filesystem is dirty; run fsck first");
+  }
+  const std::vector<std::string> violations = validate(sb, o);
+  if (!violations.empty()) {
+    std::string message = "tune2fs: refused:";
+    for (const std::string& v : violations) message += "\n  " + v;
+    return makeError(message);
+  }
+
+  coverPoint("tune.start");
+  TuneReport report;
+
+  if (o.has_journal.has_value()) {
+    if (*o.has_journal && !sb.hasCompat(kCompatHasJournal)) {
+      return makeError("tune2fs: adding a journal post-hoc is not supported (recreate)");
+    }
+    if (!*o.has_journal && sb.hasCompat(kCompatHasJournal)) {
+      // Free the journal area back to group 0.
+      if (sb.journal_blocks != 0) {
+        Bitmap bitmap = image.loadBlockBitmap(sb, 0);
+        GroupDesc gd = image.loadGroupDesc(sb, 0);
+        const std::uint32_t first_bit = sb.journal_start - FsImage::groupFirstBlock(sb, 0);
+        for (std::uint32_t b = 0; b < sb.journal_blocks; ++b) {
+          bitmap.set(first_bit + b, false);
+        }
+        gd.free_blocks_count =
+            static_cast<std::uint16_t>(gd.free_blocks_count + sb.journal_blocks);
+        sb.free_blocks_count += sb.journal_blocks;
+        image.storeBlockBitmap(sb, 0, bitmap);
+        image.storeGroupDesc(sb, 0, gd);
+      }
+      sb.feature_compat &= ~kCompatHasJournal;
+      sb.journal_start = 0;
+      sb.journal_blocks = 0;
+      sb.journal_dirty = 0;
+      report.changes.push_back("removed the internal journal");
+      coverPoint("tune.remove_journal");
+    }
+  }
+  if (o.metadata_csum.has_value()) {
+    if (*o.metadata_csum) {
+      sb.feature_ro_compat |= kRoCompatMetadataCsum;
+      report.changes.push_back("enabled metadata_csum");
+      coverPoint("tune.enable_metadata_csum");
+    } else {
+      sb.feature_ro_compat &= ~kRoCompatMetadataCsum;
+      report.changes.push_back("disabled metadata_csum");
+    }
+  }
+  if (o.quota.has_value()) {
+    if (*o.quota) {
+      sb.feature_ro_compat |= kRoCompatQuota;
+      report.changes.push_back("enabled quota");
+      coverPoint("tune.enable_quota");
+    } else {
+      sb.feature_ro_compat &= ~kRoCompatQuota;
+      report.changes.push_back("disabled quota");
+    }
+  }
+  if (o.sparse_super2.has_value()) {
+    if (*o.sparse_super2) {
+      sb.feature_compat |= kCompatSparseSuper2;
+      sb.feature_ro_compat &= ~kRoCompatSparseSuper;
+      sb.backup_bgs[0] = sb.groupCount() > 1 ? 1 : 0;
+      sb.backup_bgs[1] = sb.groupCount() > 2 ? sb.groupCount() - 1 : 0;
+      report.changes.push_back("switched to the sparse_super2 backup layout");
+      coverPoint("tune.enable_sparse_super2");
+    } else {
+      sb.feature_compat &= ~kCompatSparseSuper2;
+      sb.feature_ro_compat |= kRoCompatSparseSuper;
+      sb.backup_bgs[0] = 0;
+      sb.backup_bgs[1] = 0;
+      report.changes.push_back("switched back to sparse_super backups");
+    }
+  }
+  if (o.max_mount_count.has_value()) {
+    sb.max_mount_count = *o.max_mount_count;
+    report.changes.push_back("max mount count set to " + std::to_string(*o.max_mount_count));
+  }
+  if (o.reserved_blocks_count.has_value()) {
+    sb.reserved_blocks_count = *o.reserved_blocks_count;
+    report.changes.push_back("reserved blocks set to " +
+                             std::to_string(*o.reserved_blocks_count));
+  }
+  if (o.label.has_value()) {
+    std::memset(sb.volume_name, 0, sizeof(sb.volume_name));
+    std::strncpy(sb.volume_name, o.label->c_str(), sizeof(sb.volume_name) - 1);
+    report.changes.push_back("label set to '" + *o.label + "'");
+  }
+
+  sb.updateChecksum();
+  image.storeSuperblockWithBackups(sb);
+  coverPoint("tune.done");
+  return report;
+}
+
+}  // namespace fsdep::fsim

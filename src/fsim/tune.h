@@ -1,0 +1,46 @@
+// TuneTool: the tune2fs of the simulator — an Offline-stage utility that
+// flips feature flags and tunables on an existing filesystem. Feature
+// changes are validated against the same dependency set as mkfs, plus the
+// tune-specific rules (some features cannot be changed after creation,
+// some removals require the feature's on-disk structures to be absent).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsim/image.h"
+#include "support/result.h"
+
+namespace fsdep::fsim {
+
+struct TuneOptions {
+  /// Feature toggles; unset = leave alone.
+  std::optional<bool> has_journal;
+  std::optional<bool> metadata_csum;
+  std::optional<bool> uninit_bg;
+  std::optional<bool> quota;
+  std::optional<bool> sparse_super2;
+
+  /// Tunables; unset = leave alone.
+  std::optional<std::uint16_t> max_mount_count;
+  std::optional<std::uint32_t> reserved_blocks_count;
+  std::optional<std::string> label;
+};
+
+struct TuneReport {
+  std::vector<std::string> changes;
+};
+
+class TuneTool {
+ public:
+  /// Returns the dependency violations the requested change would cause
+  /// (empty = acceptable).
+  static std::vector<std::string> validate(const Superblock& sb, const TuneOptions& options);
+
+  /// Applies the change. Refuses on validation failure or a dirty fs.
+  static Result<TuneReport> tune(BlockDevice& device, const TuneOptions& options);
+};
+
+}  // namespace fsdep::fsim

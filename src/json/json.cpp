@@ -1,0 +1,100 @@
+#include "json/json.h"
+
+#include <stdexcept>
+
+namespace fsdep::json {
+
+Object::Object(const Object& other) {
+  entries_.reserve(other.entries_.size());
+  for (const auto& [k, v] : other.entries_) {
+    entries_.emplace_back(k, std::make_unique<Value>(*v));
+  }
+}
+
+Object& Object::operator=(const Object& other) {
+  if (this != &other) {
+    Object copy(other);
+    entries_ = std::move(copy.entries_);
+  }
+  return *this;
+}
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return *v;
+  }
+  entries_.emplace_back(key, std::make_unique<Value>());
+  return *entries_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+bool Object::operator==(const Object& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (const auto& [k, v] : entries_) {
+    const Value* ov = other.find(k);
+    if (ov == nullptr || !(*ov == *v)) return false;
+  }
+  return true;
+}
+
+bool Value::asBool(bool fallback) const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  return fallback;
+}
+
+std::int64_t Value::asInt(std::int64_t fallback) const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const double* d = std::get_if<double>(&data_)) return static_cast<std::int64_t>(*d);
+  return fallback;
+}
+
+double Value::asDouble(double fallback) const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*i);
+  return fallback;
+}
+
+const std::string& Value::asString() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const Array& Value::asArray() const {
+  if (const Array* a = std::get_if<Array>(&data_)) return *a;
+  static const Array kEmpty;
+  return kEmpty;
+}
+
+Array& Value::asArray() {
+  if (Array* a = std::get_if<Array>(&data_)) return *a;
+  throw std::runtime_error("json::Value::asArray on non-array");
+}
+
+const Object& Value::asObject() const {
+  if (const Object* o = std::get_if<Object>(&data_)) return *o;
+  static const Object kEmpty;
+  return kEmpty;
+}
+
+Object& Value::asObject() {
+  if (Object* o = std::get_if<Object>(&data_)) return *o;
+  throw std::runtime_error("json::Value::asObject on non-object");
+}
+
+bool Value::operator==(const Value& other) const { return data_ == other.data_; }
+
+}  // namespace fsdep::json

@@ -1,0 +1,113 @@
+#include <cmath>
+#include <cstdio>
+
+#include "json/json.h"
+
+namespace fsdep::json {
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, const Value& v) {
+  if (v.isInt()) {
+    out += std::to_string(v.asInt());
+    return;
+  }
+  const double d = v.asDouble();
+  if (std::isfinite(d)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  } else {
+    out += "null";  // JSON has no NaN/Inf
+  }
+}
+
+void writeValue(std::string& out, const Value& v, int indent, bool pretty) {
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(level) * 2, ' ');
+  };
+
+  if (v.isNull()) {
+    out += "null";
+  } else if (v.isBool()) {
+    out += v.asBool() ? "true" : "false";
+  } else if (v.isNumber()) {
+    appendNumber(out, v);
+  } else if (v.isString()) {
+    appendEscaped(out, v.asString());
+  } else if (v.isArray()) {
+    const Array& arr = v.asArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ',';
+      newline(indent + 1);
+      writeValue(out, arr[i], indent + 1, pretty);
+    }
+    newline(indent);
+    out += ']';
+  } else {
+    const Object& obj = v.asObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, val] : obj) {
+      if (!first) out += ',';
+      first = false;
+      newline(indent + 1);
+      appendEscaped(out, key);
+      out += pretty ? ": " : ":";
+      writeValue(out, *val, indent + 1, pretty);
+    }
+    newline(indent);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string writePretty(const Value& value) {
+  std::string out;
+  writeValue(out, value, 0, /*pretty=*/true);
+  out += '\n';
+  return out;
+}
+
+std::string writeCompact(const Value& value) {
+  std::string out;
+  writeValue(out, value, 0, /*pretty=*/false);
+  return out;
+}
+
+}  // namespace fsdep::json

@@ -1,0 +1,268 @@
+#include "lex/lexer.h"
+
+#include <cctype>
+
+namespace fsdep::lex {
+
+Lexer::Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags)
+    : sm_(sm), file_(file), diags_(diags), text_(sm.contents(file)) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+    at_line_start_ = true;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, column_}; }
+
+Token Lexer::makeToken(TokenKind kind, SourceLoc loc, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.loc = loc;
+  return t;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (pos_ < text_.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '\\' && peek(1) == '\n') {
+      advance();
+      advance();  // line continuation
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < text_.size() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (pos_ < text_.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lexIdentifier(SourceLoc loc) {
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) advance();
+  std::string text(text_.substr(start, pos_ - start));
+  const TokenKind kind = classifyIdentifier(text);
+  return makeToken(kind, loc, std::move(text));
+}
+
+Token Lexer::lexNumber(SourceLoc loc) {
+  const std::size_t start = pos_;
+  std::int64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = peek();
+      int digit = 0;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+      else digit = 10 + (c - 'A');
+      value = value * 16 + digit;
+      advance();
+    }
+  } else if (peek() == '0' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (peek() >= '0' && peek() <= '7') {
+      value = value * 8 + (peek() - '0');
+      advance();
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + (peek() - '0');
+      advance();
+    }
+  }
+  // Integer suffixes (U, L, UL, ULL, ...) — accepted and ignored.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') advance();
+  Token t = makeToken(TokenKind::IntLiteral, loc, std::string(text_.substr(start, pos_ - start)));
+  t.int_value = value;
+  return t;
+}
+
+Token Lexer::lexCharLiteral(SourceLoc loc) {
+  advance();  // opening quote
+  std::int64_t value = 0;
+  if (peek() == '\\') {
+    advance();
+    const char e = advance();
+    switch (e) {
+      case 'n': value = '\n'; break;
+      case 't': value = '\t'; break;
+      case 'r': value = '\r'; break;
+      case '0': value = '\0'; break;
+      case '\\': value = '\\'; break;
+      case '\'': value = '\''; break;
+      case '"': value = '"'; break;
+      default:
+        diags_.error(loc, std::string("unknown escape '\\") + e + "' in char literal");
+        value = e;
+    }
+  } else if (pos_ < text_.size()) {
+    value = advance();
+  }
+  if (!match('\'')) diags_.error(loc, "unterminated char literal");
+  Token t = makeToken(TokenKind::CharLiteral, loc, std::string(1, static_cast<char>(value)));
+  t.int_value = value;
+  return t;
+}
+
+Token Lexer::lexStringLiteral(SourceLoc loc) {
+  advance();  // opening quote
+  std::string value;
+  while (pos_ < text_.size() && peek() != '"' && peek() != '\n') {
+    char c = advance();
+    if (c == '\\' && pos_ < text_.size()) {
+      const char e = advance();
+      switch (e) {
+        case 'n': value += '\n'; break;
+        case 't': value += '\t'; break;
+        case 'r': value += '\r'; break;
+        case '0': value += '\0'; break;
+        case '\\': value += '\\'; break;
+        case '"': value += '"'; break;
+        case '\'': value += '\''; break;
+        default: value += e;
+      }
+    } else {
+      value += c;
+    }
+  }
+  if (!match('"')) diags_.error(loc, "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, loc, std::move(value));
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  const bool start_of_line = at_line_start_;
+  at_line_start_ = false;
+  const SourceLoc loc = here();
+  if (pos_ >= text_.size()) {
+    Token t = makeToken(TokenKind::Eof, loc, "");
+    t.start_of_line = start_of_line;
+    return t;
+  }
+
+  const char c = peek();
+  Token t;
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    t = lexIdentifier(loc);
+  } else if (std::isdigit(static_cast<unsigned char>(c))) {
+    t = lexNumber(loc);
+  } else if (c == '\'') {
+    t = lexCharLiteral(loc);
+  } else if (c == '"') {
+    t = lexStringLiteral(loc);
+  } else {
+    advance();
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::LParen; break;
+      case ')': kind = TokenKind::RParen; break;
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case ';': kind = TokenKind::Semicolon; break;
+      case ',': kind = TokenKind::Comma; break;
+      case '?': kind = TokenKind::Question; break;
+      case '~': kind = TokenKind::Tilde; break;
+      case '#': kind = TokenKind::Hash; break;
+      case ':': kind = TokenKind::Colon; break;
+      case '.':
+        if (peek() == '.' && peek(1) == '.') {
+          advance();
+          advance();
+          kind = TokenKind::Ellipsis;
+        } else {
+          kind = TokenKind::Dot;
+        }
+        break;
+      case '+':
+        kind = match('+') ? TokenKind::PlusPlus : match('=') ? TokenKind::PlusAssign : TokenKind::Plus;
+        break;
+      case '-':
+        kind = match('-') ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+               : match('>') ? TokenKind::Arrow
+                            : TokenKind::Minus;
+        break;
+      case '*': kind = match('=') ? TokenKind::StarAssign : TokenKind::Star; break;
+      case '/': kind = match('=') ? TokenKind::SlashAssign : TokenKind::Slash; break;
+      case '%': kind = match('=') ? TokenKind::PercentAssign : TokenKind::Percent; break;
+      case '^': kind = match('=') ? TokenKind::CaretAssign : TokenKind::Caret; break;
+      case '!': kind = match('=') ? TokenKind::BangEqual : TokenKind::Bang; break;
+      case '=': kind = match('=') ? TokenKind::EqualEqual : TokenKind::Assign; break;
+      case '&':
+        kind = match('&') ? TokenKind::AmpAmp : match('=') ? TokenKind::AmpAssign : TokenKind::Amp;
+        break;
+      case '|':
+        kind = match('|') ? TokenKind::PipePipe : match('=') ? TokenKind::PipeAssign : TokenKind::Pipe;
+        break;
+      case '<':
+        if (match('<')) {
+          kind = match('=') ? TokenKind::ShlAssign : TokenKind::Shl;
+        } else {
+          kind = match('=') ? TokenKind::LessEqual : TokenKind::Less;
+        }
+        break;
+      case '>':
+        if (match('>')) {
+          kind = match('=') ? TokenKind::ShrAssign : TokenKind::Shr;
+        } else {
+          kind = match('=') ? TokenKind::GreaterEqual : TokenKind::Greater;
+        }
+        break;
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        return next();
+    }
+    t = makeToken(kind, loc, std::string(tokenKindName(kind)));
+  }
+  t.start_of_line = start_of_line;
+  return t;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token t = next();
+    if (t.isEof()) break;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace fsdep::lex

@@ -1,0 +1,46 @@
+// Raw tokenizer for a single source buffer. Preprocessing (includes,
+// macros, conditionals) is layered on top in lex/preprocessor.h.
+#pragma once
+
+#include <vector>
+
+#include "lex/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace fsdep::lex {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+  /// Returns the next raw token; Eof forever after the end.
+  Token next();
+
+  /// Tokenizes the whole buffer (excluding the final Eof).
+  std::vector<Token> lexAll();
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  [[nodiscard]] SourceLoc here() const;
+
+  Token makeToken(TokenKind kind, SourceLoc loc, std::string text) const;
+  Token lexIdentifier(SourceLoc loc);
+  Token lexNumber(SourceLoc loc);
+  Token lexCharLiteral(SourceLoc loc);
+  Token lexStringLiteral(SourceLoc loc);
+  void skipWhitespaceAndComments();
+
+  const SourceManager& sm_;
+  FileId file_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace fsdep::lex

@@ -1,0 +1,72 @@
+// A deliberately small C preprocessor: object-like #define, #undef,
+// #include "..." via a pluggable resolver, and #ifdef/#ifndef/#else/#endif
+// (enough for header guards and feature gates in the corpus). Function-like
+// macros are not supported; the corpus uses real functions and enums, which
+// also gives the taint analysis more to chew on.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lex/lexer.h"
+#include "lex/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace fsdep::lex {
+
+/// Resolves an #include'd name to file contents, or nullopt when unknown.
+using IncludeResolver = std::function<std::optional<std::string>(std::string_view name)>;
+
+class Preprocessor {
+ public:
+  Preprocessor(SourceManager& sm, DiagnosticEngine& diags, IncludeResolver resolver);
+
+  /// Pre-defines an object-like macro (like -D on a compiler command line).
+  void defineMacro(const std::string& name, const std::string& replacement_text);
+
+  /// Tokenizes `file` with all directives processed and macros expanded.
+  std::vector<Token> tokenize(FileId file);
+
+  [[nodiscard]] bool isMacroDefined(const std::string& name) const {
+    return macros_.contains(name);
+  }
+
+ private:
+  struct Macro {
+    std::vector<Token> replacement;
+  };
+
+  void processFile(FileId file, std::vector<Token>& out, int depth);
+  void handleDirective(Lexer& lexer, const Token& hash, std::vector<Token>& out, int depth);
+  void emitToken(Token token, std::vector<Token>& out);
+  void expandMacro(const std::string& name, SourceLoc use_loc, std::vector<Token>& out,
+                   std::unordered_set<std::string>& expanding);
+
+  /// Reads tokens until the end of the directive's line.
+  static std::vector<Token> readDirectiveTail(Lexer& lexer, std::uint32_t line, Token& pending,
+                                              bool& has_pending);
+
+  [[nodiscard]] bool active() const;
+
+  SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  IncludeResolver resolver_;
+  std::unordered_map<std::string, Macro> macros_;
+  std::unordered_set<std::string> included_once_;  // include-guard shortcut
+
+  struct Conditional {
+    bool parent_active;
+    bool this_active;
+    bool seen_else;
+  };
+  std::vector<Conditional> conditionals_;
+
+  static constexpr int kMaxIncludeDepth = 16;
+};
+
+}  // namespace fsdep::lex

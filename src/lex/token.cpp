@@ -1,0 +1,111 @@
+#include "lex/token.h"
+
+#include <unordered_map>
+
+namespace fsdep::lex {
+
+const char* tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Eof: return "eof";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "int-literal";
+    case TokenKind::CharLiteral: return "char-literal";
+    case TokenKind::StringLiteral: return "string-literal";
+    case TokenKind::KwVoid: return "void";
+    case TokenKind::KwChar: return "char";
+    case TokenKind::KwShort: return "short";
+    case TokenKind::KwInt: return "int";
+    case TokenKind::KwLong: return "long";
+    case TokenKind::KwSigned: return "signed";
+    case TokenKind::KwUnsigned: return "unsigned";
+    case TokenKind::KwStruct: return "struct";
+    case TokenKind::KwEnum: return "enum";
+    case TokenKind::KwTypedef: return "typedef";
+    case TokenKind::KwStatic: return "static";
+    case TokenKind::KwConst: return "const";
+    case TokenKind::KwExtern: return "extern";
+    case TokenKind::KwIf: return "if";
+    case TokenKind::KwElse: return "else";
+    case TokenKind::KwWhile: return "while";
+    case TokenKind::KwFor: return "for";
+    case TokenKind::KwDo: return "do";
+    case TokenKind::KwSwitch: return "switch";
+    case TokenKind::KwCase: return "case";
+    case TokenKind::KwDefault: return "default";
+    case TokenKind::KwReturn: return "return";
+    case TokenKind::KwBreak: return "break";
+    case TokenKind::KwContinue: return "continue";
+    case TokenKind::KwSizeof: return "sizeof";
+    case TokenKind::KwGoto: return "goto";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Colon: return ":";
+    case TokenKind::Question: return "?";
+    case TokenKind::Arrow: return "->";
+    case TokenKind::Dot: return ".";
+    case TokenKind::Ellipsis: return "...";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::Percent: return "%";
+    case TokenKind::Amp: return "&";
+    case TokenKind::Pipe: return "|";
+    case TokenKind::Caret: return "^";
+    case TokenKind::Tilde: return "~";
+    case TokenKind::Bang: return "!";
+    case TokenKind::Shl: return "<<";
+    case TokenKind::Shr: return ">>";
+    case TokenKind::Less: return "<";
+    case TokenKind::Greater: return ">";
+    case TokenKind::LessEqual: return "<=";
+    case TokenKind::GreaterEqual: return ">=";
+    case TokenKind::EqualEqual: return "==";
+    case TokenKind::BangEqual: return "!=";
+    case TokenKind::AmpAmp: return "&&";
+    case TokenKind::PipePipe: return "||";
+    case TokenKind::Assign: return "=";
+    case TokenKind::PlusAssign: return "+=";
+    case TokenKind::MinusAssign: return "-=";
+    case TokenKind::StarAssign: return "*=";
+    case TokenKind::SlashAssign: return "/=";
+    case TokenKind::PercentAssign: return "%=";
+    case TokenKind::AmpAssign: return "&=";
+    case TokenKind::PipeAssign: return "|=";
+    case TokenKind::CaretAssign: return "^=";
+    case TokenKind::ShlAssign: return "<<=";
+    case TokenKind::ShrAssign: return ">>=";
+    case TokenKind::PlusPlus: return "++";
+    case TokenKind::MinusMinus: return "--";
+    case TokenKind::Hash: return "#";
+  }
+  return "unknown";
+}
+
+TokenKind classifyIdentifier(std::string_view text) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"void", TokenKind::KwVoid},       {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},     {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},       {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned}, {"struct", TokenKind::KwStruct},
+      {"enum", TokenKind::KwEnum},       {"typedef", TokenKind::KwTypedef},
+      {"static", TokenKind::KwStatic},   {"const", TokenKind::KwConst},
+      {"extern", TokenKind::KwExtern},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"do", TokenKind::KwDo},
+      {"switch", TokenKind::KwSwitch},   {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault}, {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},   {"goto", TokenKind::KwGoto},
+  };
+  const auto it = kKeywords.find(text);
+  return it != kKeywords.end() ? it->second : TokenKind::Identifier;
+}
+
+}  // namespace fsdep::lex

@@ -1,0 +1,61 @@
+// Tokens of the C subset understood by the fsdep frontend.
+//
+// The subset covers what real configuration-handling code in the Ext4
+// ecosystem uses: integer arithmetic, structs, enums, pointers, control
+// flow, getopt-style switches, and bitwise feature tests. It deliberately
+// omits floating point, unions, bitfields, and function pointers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.h"
+
+namespace fsdep::lex {
+
+enum class TokenKind : std::uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwSigned, KwUnsigned,
+  KwStruct, KwEnum, KwTypedef, KwStatic, KwConst, KwExtern,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwSwitch, KwCase, KwDefault,
+  KwReturn, KwBreak, KwContinue, KwSizeof, KwGoto,
+
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Colon, Question,
+  Arrow, Dot, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, BangEqual,
+  AmpAmp, PipePipe,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+  Hash,
+};
+
+const char* tokenKindName(TokenKind kind);
+
+/// Returns the keyword kind for `text`, or TokenKind::Identifier.
+TokenKind classifyIdentifier(std::string_view text);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;          ///< spelling (identifier/literal text; op spelling)
+  SourceLoc loc;
+  bool start_of_line = false;
+  std::int64_t int_value = 0;  ///< for IntLiteral / CharLiteral
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool isEof() const { return kind == TokenKind::Eof; }
+};
+
+}  // namespace fsdep::lex

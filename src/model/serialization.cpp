@@ -1,0 +1,165 @@
+#include "model/serialization.h"
+
+namespace fsdep::model {
+
+json::Value toJson(const Parameter& param) {
+  json::Object o;
+  o["component"] = param.component;
+  o["name"] = param.name;
+  o["flag"] = param.flag;
+  o["type"] = paramTypeName(param.type);
+  o["stage"] = configStageName(param.stage);
+  if (!param.description.empty()) o["description"] = param.description;
+  if (!param.enum_values.empty()) {
+    json::Array values;
+    for (const std::string& v : param.enum_values) values.emplace_back(v);
+    o["enum_values"] = std::move(values);
+  }
+  return o;
+}
+
+json::Value toJson(const Component& component) {
+  json::Object o;
+  o["name"] = component.name;
+  o["stage"] = configStageName(component.stage);
+  o["is_kernel"] = component.is_kernel;
+  if (!component.description.empty()) o["description"] = component.description;
+  json::Array params;
+  for (const Parameter& p : component.parameters) params.push_back(toJson(p));
+  o["parameters"] = std::move(params);
+  return o;
+}
+
+json::Value toJson(const Ecosystem& ecosystem) {
+  json::Object o;
+  json::Array comps;
+  for (const Component& c : ecosystem.components()) comps.push_back(toJson(c));
+  o["components"] = std::move(comps);
+  return o;
+}
+
+json::Value toJson(const Dependency& dep) {
+  json::Object o;
+  o["id"] = dep.id;
+  o["kind"] = depKindName(dep.kind);
+  o["level"] = depLevelShortName(dep.level());
+  o["op"] = constraintOpName(dep.op);
+  o["param"] = dep.param;
+  if (!dep.other_param.empty()) o["other_param"] = dep.other_param;
+  if (dep.low) o["low"] = *dep.low;
+  if (dep.high) o["high"] = *dep.high;
+  if (!dep.type_name.empty()) o["type_name"] = dep.type_name;
+  if (!dep.bridge_field.empty()) o["bridge_field"] = dep.bridge_field;
+  if (!dep.description.empty()) o["description"] = dep.description;
+  if (!dep.trace.empty()) {
+    json::Array trace;
+    for (const std::string& step : dep.trace) trace.emplace_back(step);
+    o["trace"] = std::move(trace);
+  }
+  return o;
+}
+
+json::Value toJson(const std::vector<Dependency>& dependencies) {
+  json::Object o;
+  json::Array deps;
+  for (const Dependency& d : dependencies) deps.push_back(toJson(d));
+  o["dependencies"] = std::move(deps);
+  return o;
+}
+
+namespace {
+
+std::string getString(const json::Object& o, std::string_view key) {
+  const json::Value* v = o.find(key);
+  return v != nullptr ? v->asString() : std::string();
+}
+
+}  // namespace
+
+Result<Parameter> parameterFromJson(const json::Value& value) {
+  if (!value.isObject()) return makeError("parameter: expected object");
+  const json::Object& o = value.asObject();
+  Parameter p;
+  p.component = getString(o, "component");
+  p.name = getString(o, "name");
+  p.flag = getString(o, "flag");
+  if (p.name.empty()) return makeError("parameter: missing name");
+  if (auto t = paramTypeFromName(getString(o, "type"))) p.type = *t;
+  else return makeError("parameter " + p.name + ": bad type");
+  if (auto s = configStageFromName(getString(o, "stage"))) p.stage = *s;
+  p.description = getString(o, "description");
+  if (const json::Value* ev = o.find("enum_values"); ev != nullptr && ev->isArray()) {
+    for (const json::Value& v : ev->asArray()) p.enum_values.push_back(v.asString());
+  }
+  return p;
+}
+
+Result<Component> componentFromJson(const json::Value& value) {
+  if (!value.isObject()) return makeError("component: expected object");
+  const json::Object& o = value.asObject();
+  Component c;
+  c.name = getString(o, "name");
+  if (c.name.empty()) return makeError("component: missing name");
+  if (auto s = configStageFromName(getString(o, "stage"))) c.stage = *s;
+  if (const json::Value* k = o.find("is_kernel")) c.is_kernel = k->asBool();
+  c.description = getString(o, "description");
+  if (const json::Value* params = o.find("parameters"); params != nullptr && params->isArray()) {
+    for (const json::Value& pv : params->asArray()) {
+      Result<Parameter> p = parameterFromJson(pv);
+      if (!p.ok()) return p.error();
+      c.parameters.push_back(std::move(p).take());
+    }
+  }
+  return c;
+}
+
+Result<Ecosystem> ecosystemFromJson(const json::Value& value) {
+  if (!value.isObject()) return makeError("ecosystem: expected object");
+  Ecosystem eco;
+  const json::Value* comps = value.asObject().find("components");
+  if (comps == nullptr || !comps->isArray()) return makeError("ecosystem: missing components");
+  for (const json::Value& cv : comps->asArray()) {
+    Result<Component> c = componentFromJson(cv);
+    if (!c.ok()) return c.error();
+    eco.addComponent(std::move(c).take());
+  }
+  return eco;
+}
+
+Result<Dependency> dependencyFromJson(const json::Value& value) {
+  if (!value.isObject()) return makeError("dependency: expected object");
+  const json::Object& o = value.asObject();
+  Dependency d;
+  d.id = getString(o, "id");
+  if (auto k = depKindFromName(getString(o, "kind"))) d.kind = *k;
+  else return makeError("dependency " + d.id + ": bad kind");
+  if (auto op = constraintOpFromName(getString(o, "op"))) d.op = *op;
+  else return makeError("dependency " + d.id + ": bad op");
+  d.param = getString(o, "param");
+  if (d.param.empty()) return makeError("dependency " + d.id + ": missing param");
+  d.other_param = getString(o, "other_param");
+  if (const json::Value* low = o.find("low")) d.low = low->asInt();
+  if (const json::Value* high = o.find("high")) d.high = high->asInt();
+  d.type_name = getString(o, "type_name");
+  d.bridge_field = getString(o, "bridge_field");
+  d.description = getString(o, "description");
+  if (const json::Value* trace = o.find("trace"); trace != nullptr && trace->isArray()) {
+    for (const json::Value& step : trace->asArray()) d.trace.push_back(step.asString());
+  }
+  return d;
+}
+
+Result<std::vector<Dependency>> dependenciesFromJson(const json::Value& value) {
+  if (!value.isObject()) return makeError("dependencies: expected object");
+  const json::Value* deps = value.asObject().find("dependencies");
+  if (deps == nullptr || !deps->isArray()) return makeError("dependencies: missing array");
+  std::vector<Dependency> out;
+  for (const json::Value& dv : deps->asArray()) {
+    Result<Dependency> d = dependencyFromJson(dv);
+    if (!d.ok()) return d.error();
+    out.push_back(std::move(d).take());
+  }
+  return out;
+}
+
+}  // namespace fsdep::model

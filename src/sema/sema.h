@@ -1,0 +1,71 @@
+// Semantic analysis for the fsdep C subset: name resolution, member
+// binding, enum-constant folding, and just enough type inference to know
+// which struct a member access lands in. The results are written back into
+// the AST (DeclRefExpr::decl, MemberExpr::field, ...) so later passes —
+// CFG construction, taint analysis, dependency extraction — can navigate
+// the program semantically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "support/diagnostics.h"
+
+namespace fsdep::sema {
+
+/// Resolved (semantic) type: a TypeSpec with typedefs flattened away.
+using SemType = ast::TypeSpec;
+
+class Sema {
+ public:
+  Sema(ast::TranslationUnit& tu, DiagnosticEngine& diags);
+
+  /// Runs all of sema over the translation unit. Returns false when hard
+  /// errors were found (diags has details).
+  bool run();
+
+  /// Resolved type of an expression (valid after run()); nullopt when the
+  /// expression never got a type (e.g. unresolved identifier).
+  [[nodiscard]] std::optional<SemType> typeOf(const ast::Expr& expr) const;
+
+  /// Folds an integer-constant expression using enum values and literals.
+  /// Returns nullopt when the expression is not constant.
+  [[nodiscard]] std::optional<std::int64_t> foldConstant(const ast::Expr& expr) const;
+
+  [[nodiscard]] const ast::RecordDecl* findRecord(std::string_view name) const;
+  [[nodiscard]] const ast::FunctionDecl* findFunction(std::string_view name) const;
+
+ private:
+  struct Scope {
+    std::unordered_map<std::string, ast::VarDecl*> vars;
+  };
+
+  void collectTopLevel();
+  void resolveFunction(ast::FunctionDecl& fn);
+  void resolveStmt(ast::Stmt& stmt, ast::FunctionDecl& fn);
+  void resolveExpr(ast::Expr& expr);
+  void declareVar(ast::VarDecl& var);
+  [[nodiscard]] ast::VarDecl* lookupVar(const std::string& name);
+
+  /// Computes and caches the semantic type of `expr`.
+  SemType computeType(ast::Expr& expr);
+  SemType resolveTypedefs(const ast::TypeSpec& type) const;
+
+  ast::TranslationUnit& tu_;
+  DiagnosticEngine& diags_;
+
+  std::unordered_map<std::string, ast::RecordDecl*> records_;
+  std::unordered_map<std::string, ast::EnumDecl*> enums_;
+  std::unordered_map<std::string, std::int64_t> enum_constants_;
+  std::unordered_map<std::string, ast::TypedefDecl*> typedefs_;
+  std::unordered_map<std::string, ast::FunctionDecl*> functions_;
+  std::unordered_map<std::string, ast::VarDecl*> globals_;
+  std::vector<Scope> scopes_;
+  std::unordered_map<const ast::Expr*, SemType> expr_types_;
+};
+
+}  // namespace fsdep::sema

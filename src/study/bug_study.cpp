@@ -1,0 +1,464 @@
+#include "study/bug_study.h"
+
+#include <cstdio>
+#include <set>
+
+#include "support/strings.h"
+
+namespace fsdep::study {
+
+using model::DepKind;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Critical dependencies (Table 4): 33 SD-type, 30 SD-range, 4 CPD-control,
+// 1 CCD-control, 64 CCD-behavioral = 132 unique.
+// ---------------------------------------------------------------------
+
+StudyDependency dep(std::string id, DepKind kind, std::string param, std::string other,
+                    std::string note) {
+  return StudyDependency{std::move(id), kind, std::move(param), std::move(other),
+                         std::move(note)};
+}
+
+std::vector<StudyDependency> buildDependencies() {
+  std::vector<StudyDependency> deps;
+
+  // SD data types (33): parameters whose mis-typing gates a bug case.
+  const char* type_params[33] = {
+      "mke2fs.blocksize", "mke2fs.inode_size", "mke2fs.inode_ratio", "mke2fs.reserved_ratio",
+      "mke2fs.blocks_per_group", "mke2fs.flex_bg_size", "mke2fs.revision", "mke2fs.size",
+      "mke2fs.cluster_size", "mke2fs.resize_limit", "mke2fs.num_inodes", "mke2fs.label",
+      "mke2fs.uuid", "mount.commit", "mount.stripe", "mount.inode_readahead_blks",
+      "mount.max_batch_time", "mount.min_batch_time", "mount.journal_ioprio", "mount.resuid",
+      "mount.resgid", "mount.barrier", "mount.errors", "mount.jqfmt", "resize2fs.size",
+      "resize2fs.debug", "resize2fs.mmp_check", "resize2fs.stride", "e2fsck.backup_super",
+      "e2fsck.blocksize", "e2fsck.progress_fd", "e2fsck.readahead_kb", "e2fsck.threads"};
+  for (int i = 0; i < 33; ++i) {
+    deps.push_back(dep("std-" + std::to_string(i + 1), DepKind::SdDataType, type_params[i], "",
+                       "parameter must parse as its declared type"));
+  }
+
+  // SD value ranges (30).
+  const char* range_params[30] = {
+      "mke2fs.blocksize", "mke2fs.inode_size", "mke2fs.inode_ratio", "mke2fs.reserved_ratio",
+      "mke2fs.blocks_per_group", "mke2fs.flex_bg_size", "mke2fs.revision",
+      "mke2fs.cluster_size", "mke2fs.resize_limit", "mke2fs.num_inodes", "mount.commit",
+      "mount.stripe", "mount.inode_readahead_blks", "mount.max_batch_time",
+      "mount.min_batch_time", "mount.journal_ioprio", "mount.barrier", "ext4.s_log_block_size",
+      "ext4.s_inode_size", "ext4.s_inodes_per_group", "ext4.s_rev_level", "ext4.s_first_ino",
+      "ext4.s_desc_size", "ext4.s_first_data_block", "ext4.s_reserved_gdt_blocks",
+      "ext4.s_log_cluster_size", "ext4.s_error_count", "resize2fs.size", "e2fsck.backup_super",
+      "e2fsck.blocksize"};
+  for (int i = 0; i < 30; ++i) {
+    deps.push_back(dep("sdr-" + std::to_string(i + 1), DepKind::SdValueRange, range_params[i],
+                       "", "parameter must stay within its legal range"));
+  }
+
+  // CPD control (4).
+  deps.push_back(dep("cpdc-1", DepKind::CpdControl, "mke2fs.meta_bg", "mke2fs.resize_inode",
+                     "meta_bg and resize_inode cannot both be enabled"));
+  deps.push_back(dep("cpdc-2", DepKind::CpdControl, "mke2fs.bigalloc", "mke2fs.extent",
+                     "bigalloc requires extents"));
+  deps.push_back(dep("cpdc-3", DepKind::CpdControl, "mke2fs.sparse_super2",
+                     "mke2fs.resize_inode", "sparse_super2 disallows resize_inode"));
+  deps.push_back(dep("cpdc-4", DepKind::CpdControl, "mount.journal_async_commit",
+                     "mount.journal_checksum", "async commit requires checksummed journal"));
+
+  // CCD control (1): the one control-type cross-component dependency the
+  // study observed (Table 4).
+  deps.push_back(dep("ccdc-1", DepKind::CcdControl, "resize2fs.online", "mke2fs.resize_inode",
+                     "online growth requires the creation-time resize_inode reserve"));
+
+  // CCD behavioral (64): component behavior gated by another component's
+  // parameter, one per CCD-involving bug case.
+  struct BehavioralPair {
+    const char* behavior;
+    const char* param;
+  };
+  const BehavioralPair pairs[64] = {
+      // s1: mount/kernel behavior depending on creation parameters (13).
+      {"ext4.mount", "mke2fs.blocksize"},
+      {"ext4.mount", "mke2fs.inode_size"},
+      {"ext4.mount", "mke2fs.64bit"},
+      {"ext4.mount", "mke2fs.meta_bg"},
+      {"ext4.journal_replay", "mke2fs.has_journal"},
+      {"ext4.mount", "mke2fs.bigalloc"},
+      {"ext4.dax_check", "mke2fs.inline_data"},
+      {"ext4.mount", "mke2fs.encrypt"},
+      {"ext4.orphan_cleanup", "mke2fs.uninit_bg"},
+      {"ext4.mount", "mke2fs.metadata_csum"},
+      {"ext4.readahead", "mke2fs.flex_bg"},
+      {"ext4.mount", "mke2fs.sparse_super2"},
+      {"ext4.quota_load", "mke2fs.quota"},
+      // s2: defrag behavior depending on other components (1).
+      {"e4defrag.defrag", "mke2fs.extent"},
+      // s3: resize behavior depending on creation/mount parameters (17,
+      // one of the 17 bugs carries the CCD-control above instead).
+      {"resize2fs.grow", "mke2fs.size"},
+      {"resize2fs.grow", "mke2fs.sparse_super2"},
+      {"resize2fs.size_parse", "mke2fs.blocksize"},
+      {"resize2fs.shrink", "mke2fs.reserved_ratio"},
+      {"resize2fs.grow", "mke2fs.resize_limit"},
+      {"resize2fs.grow", "mke2fs.meta_bg"},
+      {"resize2fs.grow", "mke2fs.flex_bg"},
+      {"resize2fs.shrink", "mke2fs.num_inodes"},
+      {"resize2fs.grow", "mke2fs.64bit"},
+      {"resize2fs.grow", "mke2fs.uninit_bg"},
+      {"resize2fs.mmp_check", "mke2fs.metadata_csum"},
+      {"resize2fs.grow", "mke2fs.bigalloc"},
+      {"resize2fs.inode_move", "mke2fs.inode_size"},
+      {"resize2fs.grow", "mke2fs.blocks_per_group"},
+      {"resize2fs.undo_log", "mke2fs.blocksize"},
+      {"resize2fs.online_ioctl", "mount.ro"},
+      // s4: checker behavior depending on creation/mount parameters (34).
+      {"e2fsck.pass0", "mke2fs.blocksize"},
+      {"e2fsck.pass0", "mke2fs.inode_size"},
+      {"e2fsck.pass1", "mke2fs.extent"},
+      {"e2fsck.pass1", "mke2fs.inline_data"},
+      {"e2fsck.pass1", "mke2fs.bigalloc"},
+      {"e2fsck.pass1", "mke2fs.64bit"},
+      {"e2fsck.pass2", "mke2fs.encrypt"},
+      {"e2fsck.pass2", "mke2fs.metadata_csum"},
+      {"e2fsck.pass3", "mke2fs.quota"},
+      {"e2fsck.pass5", "mke2fs.uninit_bg"},
+      {"e2fsck.pass5", "mke2fs.flex_bg"},
+      {"e2fsck.pass5", "mke2fs.meta_bg"},
+      {"e2fsck.journal_replay", "mke2fs.has_journal"},
+      {"e2fsck.journal_replay", "mount.noload"},
+      {"e2fsck.journal_replay", "mount.data_journal"},
+      {"e2fsck.superblock_fallback", "mke2fs.sparse_super"},
+      {"e2fsck.superblock_fallback", "mke2fs.sparse_super2"},
+      {"e2fsck.superblock_fallback", "mke2fs.blocks_per_group"},
+      {"e2fsck.resize_inode_check", "mke2fs.resize_inode"},
+      {"e2fsck.resize_inode_check", "mke2fs.resize_limit"},
+      {"e2fsck.orphan_processing", "mount.errors"},
+      {"e2fsck.orphan_processing", "mke2fs.revision"},
+      {"e2fsck.dirindex_check", "mke2fs.inode_ratio"},
+      {"e2fsck.dirindex_check", "mke2fs.num_inodes"},
+      {"e2fsck.badblocks_scan", "e2fsck.check_blocks"},
+      {"e2fsck.preen_decision", "mount.errors"},
+      {"e2fsck.preen_decision", "ext4.s_max_mnt_count"},
+      {"e2fsck.preen_decision", "ext4.s_checkinterval"},
+      {"e2fsck.extent_rebuild", "mke2fs.extent"},
+      {"e2fsck.cluster_accounting", "mke2fs.cluster_size"},
+      {"e2fsck.quota_rewrite", "mount.usrjquota"},
+      {"e2fsck.quota_rewrite", "mount.jqfmt"},
+      {"e2fsck.csum_verify", "mke2fs.metadata_csum"},
+      {"e2fsck.gdt_repair", "mke2fs.flex_bg_size"},
+  };
+  for (int i = 0; i < 64; ++i) {
+    deps.push_back(dep("ccdb-" + std::to_string(i + 1), DepKind::CcdBehavioral,
+                       pairs[i].behavior, pairs[i].param,
+                       "behavior depends on a parameter of another component"));
+  }
+
+  return deps;
+}
+
+// ---------------------------------------------------------------------
+// Bug cases (Table 3): 13 + 1 + 17 + 36 = 67.
+// ---------------------------------------------------------------------
+
+struct BugSpec {
+  const char* scenario;
+  const char* title;
+};
+
+const BugSpec kBugSpecs[67] = {
+    // ---- s1: mke2fs - mount - Ext4 (13 cases). ----
+    {"s1", "mount fails to reject 64KiB blocks on 4KiB-page hosts"},
+    {"s1", "oversized inode size accepted at mkfs corrupts inode table on first mount"},
+    {"s1", "64bit filesystem without extents overflows block pointer on mount"},
+    {"s1", "meta_bg layout miscomputed when first_meta_bg exceeds group count"},
+    {"s1", "journal replay reads stale descriptor with has_journal re-enabled"},
+    {"s1", "bigalloc cluster accounting off-by-one when mounting small images"},
+    {"s1", "dax mount silently ignores inline_data files and returns EIO"},
+    {"s1", "encrypt feature flag crashes mount on revision 0 filesystems"},
+    {"s1", "orphan cleanup wipes uninitialized groups with uninit_bg set"},
+    {"s1", "metadata_csum verification failure on superblock written by old mke2fs"},
+    {"s1", "inode readahead overruns the inode table with tiny flex groups"},
+    {"s1", "sparse_super2 backup group beyond last group panics mount"},
+    {"s1", "quota inodes not loaded when quota feature set without mount option"},
+    // ---- s2: + e4defrag (1 case). ----
+    {"s2", "e4defrag moves block-mapped files on a non-extent filesystem and loses data"},
+    // ---- s3: + umount + resize2fs (17 cases). ----
+    {"s3", "expanding with sparse_super2 corrupts free block count of last group"},
+    {"s3", "resize target parsed in 512-byte sectors but applied in fs blocks"},
+    {"s3", "growing past resize_inode reserve fails halfway and leaves stale gdt"},
+    {"s3", "shrink below reserved blocks truncates in-use metadata"},
+    {"s3", "online resize ioctl accepted without resize_inode feature"},
+    {"s3", "meta_bg resize path writes group descriptor to wrong backup"},
+    {"s3", "flex_bg bitmap relocation misses groups during shrink"},
+    {"s3", "inode count overflow when shrinking an -N-formatted filesystem"},
+    {"s3", "32-bit block math in grow path on 64bit filesystems"},
+    {"s3", "uninitialized group skipped during grow leaves bitmap stale"},
+    {"s3", "mmp sequence not rechecked after metadata_csum recompute"},
+    {"s3", "bigalloc cluster rounding makes resize2fs overshoot the device"},
+    {"s3", "inode migration drops extended attributes with 128-byte inodes"},
+    {"s3", "last group smaller than blocks_per_group mishandled during grow"},
+    {"s3", "undo file block size mismatch renders undo log unusable"},
+    {"s3", "online resize of a read-only mount deadlocks the ioctl"},
+    {"s3", "resize2fs accepts negative size spec and wraps to huge target"},
+    // ---- s4: + umount + e2fsck (36 cases). ----
+    {"s4", "backup superblock chosen with wrong blocksize shreds the primary"},
+    {"s4", "pass0 rejects valid 1KiB-block image formatted by old mke2fs"},
+    {"s4", "pass1 rewrites extent tree of block-mapped files when extents flag set"},
+    {"s4", "inline_data directories flagged as corrupt and cleared"},
+    {"s4", "bigalloc cluster bitmap check uses block units and reports phantom errors"},
+    {"s4", "64bit group descriptor checksum verified with 32-bit layout"},
+    {"s4", "encrypted filename check reads past inode with tiny inode size"},
+    {"s4", "metadata_csum seed mismatch makes fsck zero healthy group descriptors"},
+    {"s4", "quota inode rebuilt with wrong format erases usage data"},
+    {"s4", "uninit_bg groups initialized unnecessarily, clearing lazy inode tables"},
+    {"s4", "flex_bg inode table placement confuses pass5 accounting"},
+    {"s4", "meta_bg descriptor location miscomputed during preen"},
+    {"s4", "journal replay skipped on dirty journal when superblock looks clean"},
+    {"s4", "noload-mounted filesystem marked clean without replaying journal"},
+    {"s4", "data=journal ordering breaks fsck's expectation of committed metadata"},
+    {"s4", "sparse_super fallback probes nonexistent backup superblocks"},
+    {"s4", "sparse_super2 backup list not consulted by -b auto-detection"},
+    {"s4", "backup superblock offset wrong for non-default blocks_per_group"},
+    {"s4", "resize_inode repair recreates reserve with wrong gdt block count"},
+    {"s4", "resize limit from -E resize ignored when rebuilding resize inode"},
+    {"s4", "errors=continue policy races orphan processing during preen"},
+    {"s4", "revision 0 filesystem upgraded in place without asking"},
+    {"s4", "dirindex hash check seeds from inode ratio estimate and misfires"},
+    {"s4", "inode count check uses formatted -N value instead of on-disk count"},
+    {"s4", "badblocks scan with -c clobbers the in-progress bitmap"},
+    {"s4", "preen honours errors=panic and reboots the rescue system"},
+    {"s4", "max mount count of -1 treated as unsigned and forces fsck loop"},
+    {"s4", "check interval comparison overflows on 32-bit time_t"},
+    {"s4", "extent rebuild on non-extent filesystem writes garbage headers"},
+    {"s4", "cluster accounting repair halves free cluster count with -C images"},
+    {"s4", "usrjquota path rewritten to default, detaching the quota file"},
+    {"s4", "jqfmt vfsv1 quota rebuilt as vfsv0 and silently truncated"},
+    {"s4", "checksum verify pass zeroes backup descriptors with metadata_csum"},
+    {"s4", "gdt repair assumes flex_bg_size 16 and misplaces bitmaps"},
+    {"s4", "double-run of e2fsck -fy diverges on the second pass"},
+    {"s4", "interrupted fsck leaves recovery flag set and blocks mounting"},
+};
+
+// Deterministic dependency assignment reproducing the Table 3 marginals:
+// every bug carries at least one SD; exactly 65 bugs (all but two s4
+// cases) carry a CCD; 1 s1 bug and 4 s4 bugs carry a CPD.
+std::vector<BugCase> buildBugs(const std::vector<StudyDependency>& deps) {
+  // Index dependency ids by category for assignment.
+  std::vector<std::string> sd_ids;
+  std::vector<std::string> cpd_ids;
+  std::vector<std::string> ccd_ids;  // ccdc-1 first, then ccdb-1..64
+  for (const StudyDependency& d : deps) {
+    switch (model::depLevelOf(d.kind)) {
+      case model::DepLevel::SelfDependency: sd_ids.push_back(d.id); break;
+      case model::DepLevel::CrossParameter: cpd_ids.push_back(d.id); break;
+      case model::DepLevel::CrossComponent: ccd_ids.push_back(d.id); break;
+    }
+  }
+
+  std::vector<BugCase> bugs;
+  std::size_t next_ccd_behavioral = 1;  // index into ccdb-*
+  int per_scenario_counter[4] = {0, 0, 0, 0};
+  int s1_seen = 0;
+  int s4_seen = 0;
+  int s4_no_ccd_assigned = 0;
+  int s4_cpd_assigned = 0;
+
+  for (int i = 0; i < 67; ++i) {
+    const BugSpec& spec = kBugSpecs[i];
+    BugCase bug;
+    bug.scenario = spec.scenario;
+    const int scenario_index = spec.scenario[1] - '1';
+    ++per_scenario_counter[scenario_index];
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof(idbuf), "EXT4-S%d-%03d", scenario_index + 1,
+                  per_scenario_counter[scenario_index]);
+    bug.id = idbuf;
+    bug.title = spec.title;
+    bug.description = std::string("Configuration-gated reliability issue: ") + spec.title + ".";
+
+    // Every bug involves at least one self dependency (Table 3: SD 100%).
+    bug.dependency_ids.push_back(sd_ids[static_cast<std::size_t>(i) % sd_ids.size()]);
+    // A second SD for even cases so all 63 unique SDs get referenced.
+    bug.dependency_ids.push_back(
+        sd_ids[static_cast<std::size_t>(i + 33) % sd_ids.size()]);
+
+    const bool is_s1 = scenario_index == 0;
+    const bool is_s4 = scenario_index == 3;
+    if (is_s1) ++s1_seen;
+    if (is_s4) ++s4_seen;
+
+    // CPD involvement: the 4th s1 bug (meta_bg case) and four s4 bugs.
+    if (is_s1 && s1_seen == 4) {
+      bug.dependency_ids.push_back("cpdc-1");
+    }
+    if (is_s4 && s4_cpd_assigned < 4 && (s4_seen == 3 || s4_seen == 5 ||
+                                         s4_seen == 13 || s4_seen == 29)) {
+      bug.dependency_ids.push_back(cpd_ids[static_cast<std::size_t>(s4_cpd_assigned) %
+                                           cpd_ids.size()]);
+      ++s4_cpd_assigned;
+    }
+
+    // CCD involvement: all bugs except two s4 cases (Table 3: 34/36).
+    const bool skip_ccd = is_s4 && (s4_seen == 26 || s4_seen == 35) && s4_no_ccd_assigned < 2;
+    if (skip_ccd) {
+      ++s4_no_ccd_assigned;
+    } else if (spec.scenario == std::string("s3") && per_scenario_counter[2] == 5) {
+      // The online-resize-without-resize_inode case is the study's one
+      // CCD-control dependency.
+      bug.dependency_ids.push_back("ccdc-1");
+    } else {
+      bug.dependency_ids.push_back("ccdb-" + std::to_string(next_ccd_behavioral));
+      ++next_ccd_behavioral;
+    }
+
+    bugs.push_back(std::move(bug));
+  }
+  return bugs;
+}
+
+const char* scenarioTitle(const std::string& scenario) {
+  if (scenario == "s1") return "mke2fs - mount - Ext4";
+  if (scenario == "s2") return "mke2fs - mount - Ext4 - e4defrag";
+  if (scenario == "s3") return "mke2fs - mount - Ext4 - umount - resize2fs";
+  if (scenario == "s4") return "mke2fs - mount - Ext4 - umount - e2fsck";
+  return "?";
+}
+
+}  // namespace
+
+const std::vector<StudyDependency>& studyDependencies() {
+  static const std::vector<StudyDependency> kDeps = buildDependencies();
+  return kDeps;
+}
+
+const std::vector<BugCase>& bugCases() {
+  static const std::vector<BugCase> kBugs = buildBugs(studyDependencies());
+  return kBugs;
+}
+
+std::vector<ScenarioBugStats> aggregateTable3() {
+  std::map<std::string, const StudyDependency*> by_id;
+  for (const StudyDependency& d : studyDependencies()) by_id[d.id] = &d;
+
+  std::map<std::string, ScenarioBugStats> stats;
+  for (const char* s : {"s1", "s2", "s3", "s4"}) {
+    stats[s].scenario = s;
+    stats[s].title = scenarioTitle(s);
+  }
+  for (const BugCase& bug : bugCases()) {
+    ScenarioBugStats& s = stats[bug.scenario];
+    ++s.bugs;
+    bool sd = false;
+    bool cpd = false;
+    bool ccd = false;
+    for (const std::string& id : bug.dependency_ids) {
+      const auto it = by_id.find(id);
+      if (it == by_id.end()) continue;
+      switch (model::depLevelOf(it->second->kind)) {
+        case model::DepLevel::SelfDependency: sd = true; break;
+        case model::DepLevel::CrossParameter: cpd = true; break;
+        case model::DepLevel::CrossComponent: ccd = true; break;
+      }
+    }
+    s.with_sd += sd ? 1 : 0;
+    s.with_cpd += cpd ? 1 : 0;
+    s.with_ccd += ccd ? 1 : 0;
+  }
+
+  std::vector<ScenarioBugStats> out;
+  for (const char* s : {"s1", "s2", "s3", "s4"}) out.push_back(stats[s]);
+  return out;
+}
+
+TaxonomyStats aggregateTable4() {
+  TaxonomyStats stats;
+  // Count unique dependencies that are referenced by at least one bug.
+  std::map<std::string, const StudyDependency*> by_id;
+  for (const StudyDependency& d : studyDependencies()) by_id[d.id] = &d;
+  std::set<std::string> referenced;
+  for (const BugCase& bug : bugCases()) {
+    for (const std::string& id : bug.dependency_ids) referenced.insert(id);
+  }
+  for (const std::string& id : referenced) {
+    const auto it = by_id.find(id);
+    if (it != by_id.end()) ++stats.unique_counts[it->second->kind];
+  }
+  return stats;
+}
+
+int TaxonomyStats::total() const {
+  int total = 0;
+  for (const auto& [kind, count] : unique_counts) total += count;
+  return total;
+}
+
+namespace {
+
+std::string percentCell(int part, int whole) {
+  if (part == 0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d (%s)", part,
+                formatPercent(static_cast<double>(part) / whole).c_str());
+  return buf;
+}
+
+}  // namespace
+
+std::string formatTable3() {
+  std::string out = "Table 3: Distribution of Configuration Bugs in Four Scenarios\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-48s | %5s | %-12s | %-10s | %-12s\n", "Usage Scenario",
+                "#Bug", "SD", "CPD", "CCD");
+  out += buf;
+  out += std::string(100, '-') + "\n";
+  int total_bugs = 0;
+  int total_sd = 0;
+  int total_cpd = 0;
+  int total_ccd = 0;
+  for (const ScenarioBugStats& s : aggregateTable3()) {
+    std::snprintf(buf, sizeof(buf), "%-48s | %5d | %-12s | %-10s | %-12s\n", s.title.c_str(),
+                  s.bugs, percentCell(s.with_sd, s.bugs).c_str(),
+                  percentCell(s.with_cpd, s.bugs).c_str(),
+                  percentCell(s.with_ccd, s.bugs).c_str());
+    out += buf;
+    total_bugs += s.bugs;
+    total_sd += s.with_sd;
+    total_cpd += s.with_cpd;
+    total_ccd += s.with_ccd;
+  }
+  out += std::string(100, '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "%-48s | %5d | %-12s | %-10s | %-12s\n", "Total", total_bugs,
+                percentCell(total_sd, total_bugs).c_str(),
+                percentCell(total_cpd, total_bugs).c_str(),
+                percentCell(total_ccd, total_bugs).c_str());
+  out += buf;
+  return out;
+}
+
+std::string formatTable4() {
+  const TaxonomyStats stats = aggregateTable4();
+  auto count = [&](DepKind kind) {
+    const auto it = stats.unique_counts.find(kind);
+    return it != stats.unique_counts.end() ? it->second : 0;
+  };
+  std::string out = "Table 4: A Taxonomy of Critical Configuration Dependencies\n";
+  char buf[160];
+  auto row = [&](const char* level, const char* sub, int n) {
+    std::snprintf(buf, sizeof(buf), "%-28s | %-12s | %-6s | %d\n", level, sub,
+                  n > 0 ? "Y" : "N", n);
+    out += buf;
+  };
+  row("Self Dependency (SD)", "Data Type", count(DepKind::SdDataType));
+  row("Self Dependency (SD)", "Value Range", count(DepKind::SdValueRange));
+  row("Cross-Parameter Dep. (CPD)", "Control", count(DepKind::CpdControl));
+  row("Cross-Parameter Dep. (CPD)", "Value", count(DepKind::CpdValue));
+  row("Cross-Component Dep. (CCD)", "Control", count(DepKind::CcdControl));
+  row("Cross-Component Dep. (CCD)", "Value", count(DepKind::CcdValue));
+  row("Cross-Component Dep. (CCD)", "Behavioral", count(DepKind::CcdBehavioral));
+  std::snprintf(buf, sizeof(buf), "Total: %d critical dependencies\n", stats.total());
+  out += buf;
+  return out;
+}
+
+}  // namespace fsdep::study

@@ -1,0 +1,126 @@
+#include "study/coverage.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace fsdep::study {
+
+std::string parameterMatchToken(const model::Parameter& param) {
+  std::string flag = param.flag;
+  // Strip the option-carrier prefixes: "-O feature", "-o opt", "-E opt".
+  for (const char* prefix : {"-O ", "-o ", "-E "}) {
+    if (flag.starts_with(prefix)) {
+      flag = flag.substr(3);
+      break;
+    }
+  }
+  return flag;
+}
+
+std::vector<std::string> tokenizeCaseText(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    // Trim shell punctuation from both ends.
+    const std::string trim_chars = "\"',;()$`&|<>";
+    std::size_t begin = 0;
+    std::size_t end = current.size();
+    while (begin < end && trim_chars.find(current[begin]) != std::string::npos) ++begin;
+    while (end > begin && trim_chars.find(current[end - 1]) != std::string::npos) --end;
+    if (end > begin) tokens.push_back(current.substr(begin, end - begin));
+    current.clear();
+  };
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+namespace {
+
+bool tokenMatches(const std::string& token, const std::string& match) {
+  if (match.empty()) return false;
+  if (match.back() == '=') return token.starts_with(match);
+  return token == match;
+}
+
+std::vector<const model::Component*> targetComponents(const std::string& target,
+                                                      const model::Ecosystem& ecosystem) {
+  std::vector<const model::Component*> out;
+  if (target == "ext4-ecosystem") {
+    for (const char* name : {"mke2fs", "mount", "ext4"}) {
+      if (const model::Component* c = ecosystem.findComponent(name)) out.push_back(c);
+    }
+    return out;
+  }
+  if (const model::Component* c = ecosystem.findComponent(target)) out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+CoverageReport scanSuite(const corpus::SuiteManifest& manifest,
+                         const model::Ecosystem& ecosystem) {
+  CoverageReport report;
+  report.suite = manifest.suite;
+  report.target = manifest.target;
+
+  const std::vector<const model::Component*> components =
+      targetComponents(manifest.target, ecosystem);
+  for (const model::Component* c : components) report.total_parameters += c->parameters.size();
+
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(manifest.case_texts.size());
+  for (const std::string& text : manifest.case_texts) tokenized.push_back(tokenizeCaseText(text));
+
+  for (const model::Component* c : components) {
+    for (const model::Parameter& param : c->parameters) {
+      const std::string match = parameterMatchToken(param);
+      bool used = false;
+      for (const auto& tokens : tokenized) {
+        for (const std::string& token : tokens) {
+          if (tokenMatches(token, match)) {
+            used = true;
+            break;
+          }
+        }
+        if (used) break;
+      }
+      if (used) report.used_parameters.insert(param.qualifiedName());
+    }
+  }
+  return report;
+}
+
+std::vector<CoverageReport> runCoverageStudy() {
+  std::vector<CoverageReport> out;
+  for (const corpus::SuiteManifest& manifest : corpus::suiteManifests()) {
+    out.push_back(scanSuite(manifest, corpus::ecosystem()));
+  }
+  return out;
+}
+
+std::string formatTable2(const std::vector<CoverageReport>& reports) {
+  std::string out = "Table 2: Configuration Coverage of Test Suites\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-16s | %-16s | %6s | %s\n", "Test Suite", "Target", "Total",
+                "Used");
+  out += buf;
+  out += std::string(64, '-') + "\n";
+  for (const CoverageReport& r : reports) {
+    std::snprintf(buf, sizeof(buf), "%-16s | %-16s | %6zu | %zu (%s)\n", r.suite.c_str(),
+                  r.target.c_str(), r.total_parameters, r.usedCount(),
+                  formatPercent(r.usedFraction()).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fsdep::study

@@ -1,0 +1,47 @@
+// Test-suite configuration coverage (paper Table 2): how many of a
+// component's parameters the de-facto test suites actually exercise.
+// The scanner tokenizes each test case and matches parameter spellings
+// (short flags, -O features, -o options, opt= prefixes).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "model/config_model.h"
+
+namespace fsdep::study {
+
+struct CoverageReport {
+  std::string suite;
+  std::string target;
+  std::size_t total_parameters = 0;
+  std::set<std::string> used_parameters;  ///< qualified names
+
+  [[nodiscard]] std::size_t usedCount() const { return used_parameters.size(); }
+  [[nodiscard]] double usedFraction() const {
+    return total_parameters == 0
+               ? 0.0
+               : static_cast<double>(used_parameters.size()) / static_cast<double>(total_parameters);
+  }
+};
+
+/// Normalized match token of a parameter: "-b", "meta_bg", "commit=", ...
+std::string parameterMatchToken(const model::Parameter& param);
+
+/// Tokenizes one test-case body (whitespace split, shell punctuation
+/// trimmed).
+std::vector<std::string> tokenizeCaseText(std::string_view text);
+
+/// Scans one manifest against the ecosystem registry. A target of
+/// "ext4-ecosystem" covers mke2fs + mount + ext4.
+CoverageReport scanSuite(const corpus::SuiteManifest& manifest, const model::Ecosystem& ecosystem);
+
+/// Runs the whole Table 2 study over the embedded manifests.
+std::vector<CoverageReport> runCoverageStudy();
+
+/// Renders Table 2 in the paper's layout.
+std::string formatTable2(const std::vector<CoverageReport>& reports);
+
+}  // namespace fsdep::study

@@ -1,0 +1,49 @@
+#include "support/diagnostics.h"
+
+#include "support/source_manager.h"
+
+namespace fsdep {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+std::string DiagnosticEngine::render(const SourceManager& sm) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += formatLoc(sm, d.loc);
+    out += ": ";
+    out += severityName(d.severity);
+    out += ": ";
+    out += d.message;
+    out += '\n';
+    if (d.loc.valid()) {
+      std::string_view line = sm.lineText(d.loc.file, d.loc.line);
+      if (!line.empty()) {
+        out += "  ";
+        out += line;
+        out += "\n  ";
+        for (std::uint32_t i = 1; i < d.loc.column; ++i) out += ' ';
+        out += "^\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsdep

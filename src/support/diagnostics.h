@@ -1,0 +1,48 @@
+// Diagnostic engine for the frontend: collects errors/warnings/notes with
+// source locations, supports rendering with a caret line, and lets callers
+// check whether hard errors occurred.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace fsdep {
+
+class SourceManager;
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+const char* severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) { report(Severity::Error, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) { report(Severity::Warning, loc, std::move(message)); }
+  void note(SourceLoc loc, std::string message) { report(Severity::Note, loc, std::move(message)); }
+
+  [[nodiscard]] bool hasErrors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t errorCount() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  void clear();
+
+  /// Renders all diagnostics as "file:line:col: severity: message" lines,
+  /// with the offending source line and a caret when available.
+  [[nodiscard]] std::string render(const SourceManager& sm) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace fsdep

@@ -1,0 +1,48 @@
+// A minimal expected-style result type used at tool boundaries where a
+// failure is an ordinary outcome (file not found, parse failed) rather than
+// a programming error. Exceptions remain for invariant violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fsdep {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+inline Error makeError(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace fsdep

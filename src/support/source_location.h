@@ -1,0 +1,43 @@
+// Source locations and ranges for the fsdep C-subset frontend.
+//
+// A SourceLoc identifies a (file, line, column) triple; FileId indexes into
+// the SourceManager that owns the file contents. Locations are value types
+// and cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace fsdep {
+
+/// Opaque handle to a file registered with a SourceManager.
+struct FileId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  [[nodiscard]] bool valid() const { return value != kInvalid; }
+  friend auto operator<=>(FileId, FileId) = default;
+};
+
+/// A point in a source file. Lines and columns are 1-based; 0 means unknown.
+struct SourceLoc {
+  FileId file;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return file.valid() && line > 0; }
+  friend auto operator<=>(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A half-open range [begin, end) in one file.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+  friend auto operator<=>(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace fsdep

@@ -1,0 +1,43 @@
+// SourceManager owns the text of every file the frontend looks at and maps
+// FileIds back to names and contents. Files may come from disk or from the
+// embedded corpus; the manager does not care.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace fsdep {
+
+class SourceManager {
+ public:
+  /// Registers a buffer under `name` and returns its id. The buffer is
+  /// copied; callers need not keep it alive.
+  FileId addBuffer(std::string name, std::string contents);
+
+  /// Returns the id of a previously registered file, or an invalid id.
+  [[nodiscard]] FileId findByName(std::string_view name) const;
+
+  [[nodiscard]] std::string_view name(FileId id) const;
+  [[nodiscard]] std::string_view contents(FileId id) const;
+  [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
+
+  /// Returns the text of line `line` (1-based) without the trailing newline,
+  /// or an empty view when out of range. Used for diagnostics rendering.
+  [[nodiscard]] std::string_view lineText(FileId id, std::uint32_t line) const;
+
+ private:
+  struct File {
+    std::string name;
+    std::string contents;
+    std::vector<std::size_t> line_offsets;  // offset of each line start
+  };
+  std::vector<File> files_;
+};
+
+/// Renders "name:line:col" for error messages.
+std::string formatLoc(const SourceManager& sm, SourceLoc loc);
+
+}  // namespace fsdep

@@ -1,0 +1,37 @@
+// Small string helpers shared across fsdep modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsdep {
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string_view> splitString(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trimString(std::string_view text);
+
+/// Joins pieces with a separator.
+std::string joinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Case-sensitive containment test for readability at call sites.
+bool containsString(std::string_view haystack, std::string_view needle);
+
+/// Parses a signed 64-bit integer in base 10/16/8 (C literal rules).
+/// Returns nullopt on any malformed input or overflow.
+std::optional<std::int64_t> parseInt64(std::string_view text);
+
+/// Lowercases ASCII.
+std::string toLowerString(std::string_view text);
+
+/// printf-free number formatting with thousands separators, for tables.
+std::string formatWithCommas(std::int64_t value);
+
+/// Renders `value` as a percentage string like "7.8%" with one decimal.
+std::string formatPercent(double fraction);
+
+}  // namespace fsdep

@@ -1,0 +1,460 @@
+#include "taint/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fsdep::taint {
+
+using namespace ast;
+
+Analyzer::Analyzer(const TranslationUnit& tu, sema::Sema& sema, AnalysisOptions options)
+    : tu_(tu), sema_(sema), options_(options) {}
+
+void Analyzer::addSeed(Seed seed) { seeds_.push_back(std::move(seed)); }
+
+const VarDecl* Analyzer::findVarInFunction(const FunctionDecl& fn, std::string_view name) const {
+  for (const auto& p : fn.params) {
+    if (p->name == name) return p.get();
+  }
+  // Walk the body for local declarations.
+  const VarDecl* found = nullptr;
+  // Simple recursive lambda over statements.
+  auto walk = [&](auto&& self, const Stmt& stmt) -> void {
+    if (found != nullptr) return;
+    switch (stmt.kind()) {
+      case StmtKind::Compound:
+        for (const StmtPtr& s : static_cast<const CompoundStmt&>(stmt).body) self(self, *s);
+        break;
+      case StmtKind::Decl:
+        for (const auto& v : static_cast<const DeclStmt&>(stmt).vars) {
+          if (v->name == name) {
+            found = v.get();
+            return;
+          }
+        }
+        break;
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        self(self, *s.then_stmt);
+        if (s.else_stmt != nullptr) self(self, *s.else_stmt);
+        break;
+      }
+      case StmtKind::While: self(self, *static_cast<const WhileStmt&>(stmt).body); break;
+      case StmtKind::DoWhile: self(self, *static_cast<const DoWhileStmt&>(stmt).body); break;
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        if (s.init != nullptr) self(self, *s.init);
+        self(self, *s.body);
+        break;
+      }
+      case StmtKind::Switch:
+        for (const auto& c : static_cast<const SwitchStmt&>(stmt).cases) self(self, *c);
+        break;
+      case StmtKind::Case:
+        for (const StmtPtr& b : static_cast<const CaseStmt&>(stmt).body) self(self, *b);
+        break;
+      default:
+        break;
+    }
+  };
+  if (fn.body != nullptr) walk(walk, *fn.body);
+  if (found != nullptr) return found;
+  // Fall back to a global of that name.
+  return tu_.findGlobal(name);
+}
+
+std::string Analyzer::describeVar(const VarDecl& var) const {
+  if (var.owner != nullptr) return var.owner->name + "." + var.name;
+  return var.name;
+}
+
+void Analyzer::seedEntryState(const FunctionDecl& fn, TaintState& state) {
+  for (const Seed& seed : seeds_) {
+    if (seed.function != fn.name) continue;
+    const VarDecl* var = findVarInFunction(fn, seed.variable);
+    if (var == nullptr) continue;
+    const LabelId label = labels_.internParam(seed.param);
+    state.vars[var].insert(label);
+    sticky_[var].insert(label);
+    recordTrace(describeVar(*var), var->loc, "seed: carries " + seed.param);
+  }
+  if (options_.inter_procedural) {
+    const auto it = entry_bindings_.find(&fn);
+    if (it != entry_bindings_.end()) state.mergeFrom(it->second);
+  }
+}
+
+void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
+  std::vector<const FunctionDecl*> fns = functions;
+  if (fns.empty()) fns = tu_.functions();
+
+  results_.clear();
+  by_fn_.clear();
+  field_writes_.clear();
+  traces_.clear();
+  writes_.clear();
+  sticky_.clear();
+  entry_bindings_.clear();
+  return_summaries_.clear();
+
+  for (const FunctionDecl* fn : fns) {
+    if (fn == nullptr || !fn->isDefinition()) continue;
+    auto result = std::make_unique<FunctionTaint>();
+    result->fn = fn;
+    result->cfg = cfg::Cfg::build(*fn);
+    by_fn_[fn] = result.get();
+    results_.push_back(std::move(result));
+  }
+
+  const int passes = options_.inter_procedural ? options_.max_global_passes : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    bindings_changed_ = false;
+    for (const auto& result : results_) {
+      current_fn_ = result->fn;
+      current_result_ = result.get();
+      analyzeFunction(*result);
+    }
+    current_fn_ = nullptr;
+    current_result_ = nullptr;
+    if (!bindings_changed_) break;
+  }
+}
+
+void Analyzer::analyzeFunction(FunctionTaint& result) {
+  const cfg::Cfg& cfg = *result.cfg;
+  result.block_entry.assign(cfg.size(), TaintState{});
+  result.at_condition.assign(cfg.size(), TaintState{});
+
+  TaintState entry;
+  seedEntryState(*result.fn, entry);
+  result.block_entry[cfg.entry()] = std::move(entry);
+
+  const std::vector<cfg::BlockId> order = cfg.reversePostOrder();
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < 64) {
+    changed = false;
+    for (const cfg::BlockId id : order) {
+      const cfg::BasicBlock& block = cfg.block(id);
+      TaintState state = result.block_entry[id];
+      for (const Stmt* s : block.stmts) transferStmt(*s, state);
+      if (block.inc_expr != nullptr) evalExpr(*block.inc_expr, state, /*effects=*/true);
+      if (block.condition != nullptr) {
+        result.at_condition[id] = state;
+        evalExpr(*block.condition, state, /*effects=*/true);
+      }
+      for (const cfg::Edge& e : block.successors) {
+        changed |= result.block_entry[e.target].mergeFrom(state);
+      }
+    }
+  }
+
+  // Publish the union of the post-statement states at the exits (the
+  // record/trace side effects are idempotent, so replaying is safe).
+  result.exit_state = TaintState{};
+  for (const cfg::BlockId id : order) {
+    const cfg::BasicBlock& block = cfg.block(id);
+    if (!block.is_exit) continue;
+    TaintState state = result.block_entry[id];
+    for (const Stmt* s : block.stmts) transferStmt(*s, state);
+    result.exit_state.mergeFrom(state);
+  }
+}
+
+void Analyzer::transferStmt(const Stmt& stmt, TaintState& state) {
+  switch (stmt.kind()) {
+    case StmtKind::Decl: {
+      for (const auto& var : static_cast<const DeclStmt&>(stmt).vars) {
+        if (var->init == nullptr) continue;
+        LabelSet labels = evalExpr(*var->init, state, /*effects=*/true);
+        if (const auto sticky = sticky_.find(var.get()); sticky != sticky_.end()) {
+          unionInto(labels, sticky->second);
+        }
+        if (!labels.empty()) {
+          state.vars[var.get()] = labels;
+          const std::string object = describeVar(*var);
+          recordTrace(object, var->loc, object + " <- " + exprToString(*var->init));
+          recordWrite(*var->init, object, /*is_field=*/false, "", labels, var->init.get(),
+                      var->loc, BinaryOp::Assign);
+        } else {
+          state.vars[var.get()].clear();
+        }
+      }
+      break;
+    }
+    case StmtKind::Expr:
+      evalExpr(*static_cast<const ExprStmt&>(stmt).expr, state, /*effects=*/true);
+      break;
+    case StmtKind::Return: {
+      const auto& ret = static_cast<const ReturnStmt&>(stmt);
+      if (ret.value != nullptr && current_result_ != nullptr) {
+        LabelSet labels = evalExpr(*ret.value, state, /*effects=*/true);
+        unionInto(current_result_->return_labels, labels);
+        if (options_.inter_procedural) {
+          LabelSet& summary = return_summaries_[current_fn_];
+          if (unionInto(summary, labels)) bindings_changed_ = true;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+LabelSet Analyzer::labelsOf(const Expr& expr, const TaintState& state) const {
+  // evalExpr with effects=false never mutates the state.
+  auto* self = const_cast<Analyzer*>(this);
+  return self->evalExpr(expr, const_cast<TaintState&>(state), /*effects=*/false);
+}
+
+LabelSet Analyzer::evalExpr(const Expr& expr, TaintState& state, bool effects) {
+  switch (expr.kind()) {
+    case ExprKind::IntLiteral:
+    case ExprKind::StringLiteral:
+    case ExprKind::SizeofType:
+      return {};
+
+    case ExprKind::DeclRef: {
+      const auto& ref = static_cast<const DeclRefExpr&>(expr);
+      if (ref.decl == nullptr) return {};
+      return state.varLabels(ref.decl);
+    }
+
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      return evalExpr(*u.operand, state, effects);
+    }
+
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      if (isAssignment(b.op)) {
+        // Only the RHS labels are the *new* contribution of this write;
+        // a compound assignment's old-value labels are already in the
+        // state (weak update) and must not be attributed to this write
+        // event, or every `features |= (flag ? MASK : 0)` would smear the
+        // earlier flags onto later masks.
+        LabelSet labels = evalExpr(*b.rhs, state, effects);
+        if (effects) {
+          assignTo(*b.lhs, b.rhs.get(), labels, b.op == BinaryOp::Assign, state, expr.loc, b.op);
+        }
+        if (b.op != BinaryOp::Assign) {
+          // The expression's VALUE still depends on the old contents.
+          unionInto(labels, evalExpr(*b.lhs, state, /*effects=*/false));
+        }
+        return labels;
+      }
+      LabelSet labels = evalExpr(*b.lhs, state, effects);
+      unionInto(labels, evalExpr(*b.rhs, state, effects));
+      return labels;
+    }
+
+    case ExprKind::Conditional: {
+      // The value of `cond ? a : b` is strictly determined by the
+      // condition, so the condition's labels flow to the result. This is
+      // the one controlled implicit flow the analysis tracks; it is what
+      // lets feature-flag parameters reach the feature bitmap through the
+      // idiomatic `sb->s_feature_x |= (flag ? MASK : 0)`.
+      const auto& c = static_cast<const ConditionalExpr&>(expr);
+      LabelSet labels = evalExpr(*c.cond, state, effects);
+      unionInto(labels, evalExpr(*c.then_expr, state, effects));
+      unionInto(labels, evalExpr(*c.else_expr, state, effects));
+      return labels;
+    }
+
+    case ExprKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      LabelSet arg_labels;
+      std::vector<LabelSet> per_arg;
+      per_arg.reserve(call.args.size());
+      for (const ExprPtr& a : call.args) {
+        per_arg.push_back(evalExpr(*a, state, effects));
+        unionInto(arg_labels, per_arg.back());
+      }
+
+      // Out-parameters: foo(&x, src) may write src's labels into x.
+      if (effects) {
+        for (std::size_t i = 0; i < call.args.size(); ++i) {
+          const Expr* a = call.args[i].get();
+          if (a->kind() != ExprKind::Unary) continue;
+          const auto& u = static_cast<const UnaryExpr&>(*a);
+          if (u.op != UnaryOp::AddrOf) continue;
+          LabelSet others;
+          for (std::size_t j = 0; j < per_arg.size(); ++j) {
+            if (j != i) unionInto(others, per_arg[j]);
+          }
+          if (!others.empty()) {
+            assignTo(*u.operand, nullptr, others, /*strong=*/false, state, expr.loc);
+          }
+        }
+      }
+
+      if (options_.inter_procedural && call.callee_decl != nullptr &&
+          call.callee_decl->isDefinition()) {
+        const FunctionDecl* callee = call.callee_decl;
+        if (effects) {
+          TaintState& binding = entry_bindings_[callee];
+          for (std::size_t i = 0; i < call.args.size() && i < callee->params.size(); ++i) {
+            if (!per_arg[i].empty()) {
+              if (unionInto(binding.vars[callee->params[i].get()], per_arg[i])) {
+                bindings_changed_ = true;
+              }
+            }
+          }
+        }
+        LabelSet labels = arg_labels;
+        const auto summary = return_summaries_.find(callee);
+        if (summary != return_summaries_.end()) unionInto(labels, summary->second);
+        return labels;
+      }
+      return arg_labels;
+    }
+
+    case ExprKind::Member: {
+      const auto& m = static_cast<const MemberExpr&>(expr);
+      evalExpr(*m.base, state, effects);
+      if (m.record == nullptr || m.field == nullptr) return {};
+      const std::string key = fieldKey(m.record->name, m.field->name);
+      LabelSet labels = state.fieldLabels(key);
+      if (options_.field_bridging) {
+        labels.insert(labels_.internField(m.record->name, m.field->name));
+      }
+      return labels;
+    }
+
+    case ExprKind::Index: {
+      const auto& i = static_cast<const IndexExpr&>(expr);
+      evalExpr(*i.index, state, effects);
+      return evalExpr(*i.base, state, effects);
+    }
+
+    case ExprKind::Cast:
+      return evalExpr(*static_cast<const CastExpr&>(expr).operand, state, effects);
+
+    case ExprKind::InitList: {
+      LabelSet labels;
+      for (const ExprPtr& e : static_cast<const InitListExpr&>(expr).elements) {
+        unionInto(labels, evalExpr(*e, state, effects));
+      }
+      return labels;
+    }
+  }
+  return {};
+}
+
+void Analyzer::assignTo(const Expr& lhs, const Expr* rhs, const LabelSet& labels, bool strong,
+                        TaintState& state, SourceLoc loc, BinaryOp op) {
+  switch (lhs.kind()) {
+    case ExprKind::DeclRef: {
+      const auto& ref = static_cast<const DeclRefExpr&>(lhs);
+      if (ref.decl == nullptr) return;
+      LabelSet merged = labels;
+      if (const auto sticky = sticky_.find(ref.decl); sticky != sticky_.end()) {
+        unionInto(merged, sticky->second);
+      }
+      if (strong) {
+        state.vars[ref.decl] = merged;
+      } else {
+        unionInto(state.vars[ref.decl], merged);
+      }
+      if (!merged.empty()) {
+        const std::string object = describeVar(*ref.decl);
+        recordTrace(object, loc,
+                    object + " <- " + (rhs != nullptr ? exprToString(*rhs) : "<call out-param>"));
+        recordWrite(lhs, object, /*is_field=*/false, "", merged, rhs, loc, op);
+      }
+      break;
+    }
+    case ExprKind::Member: {
+      const auto& m = static_cast<const MemberExpr&>(lhs);
+      if (m.record == nullptr || m.field == nullptr) return;
+      const std::string key = fieldKey(m.record->name, m.field->name);
+      // Fields are object-insensitive: always a weak update.
+      unionInto(state.fields[key], labels);
+      unionInto(field_writes_[key], labels);
+      if (!labels.empty()) {
+        recordTrace(key, loc, key + " <- " + (rhs != nullptr ? exprToString(*rhs) : "<expr>"));
+        recordWrite(lhs, key, /*is_field=*/true, key, labels, rhs, loc, op);
+      }
+      break;
+    }
+    case ExprKind::Index: {
+      const auto& i = static_cast<const IndexExpr&>(lhs);
+      assignTo(*i.base, rhs, labels, /*strong=*/false, state, loc, op);
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(lhs);
+      if (u.op == UnaryOp::Deref || u.op == UnaryOp::AddrOf) {
+        assignTo(*u.operand, rhs, labels, /*strong=*/false, state, loc, op);
+      }
+      break;
+    }
+    case ExprKind::Cast:
+      assignTo(*static_cast<const CastExpr&>(lhs).operand, rhs, labels, strong, state, loc, op);
+      break;
+    default:
+      break;
+  }
+}
+
+void Analyzer::recordTrace(const std::string& object, SourceLoc loc, std::string text) {
+  std::vector<TraceStep>& trace = traces_[object];
+  if (trace.size() >= options_.max_trace_steps) return;
+  // Skip exact duplicates produced by fixpoint re-iteration.
+  for (const TraceStep& step : trace) {
+    if (step.loc == loc && step.text == text) return;
+  }
+  trace.push_back(TraceStep{loc, std::move(text)});
+}
+
+void Analyzer::recordWrite(const Expr& assign, const std::string& object, bool is_field,
+                           const std::string& field_key, const LabelSet& labels, const Expr* rhs,
+                           SourceLoc loc, BinaryOp op) {
+  WriteEvent& event = writes_[&assign];
+  if (event.assign == nullptr) {
+    event.fn = current_fn_;
+    event.assign = &assign;
+    event.loc = loc;
+    event.object = object;
+    event.is_field = is_field;
+    event.field_key = field_key;
+    event.rhs = rhs;
+    event.op = op;
+    if (rhs != nullptr && rhs->kind() == ExprKind::Call) {
+      event.rhs_callee = static_cast<const CallExpr*>(rhs)->callee;
+    }
+  }
+  unionInto(event.labels, labels);
+}
+
+std::vector<const WriteEvent*> Analyzer::writeEvents() const {
+  std::vector<const WriteEvent*> out;
+  out.reserve(writes_.size());
+  for (const auto& [expr, event] : writes_) out.push_back(&event);
+  std::sort(out.begin(), out.end(), [](const WriteEvent* a, const WriteEvent* b) {
+    if (a->loc.file.value != b->loc.file.value) return a->loc.file.value < b->loc.file.value;
+    if (a->loc.line != b->loc.line) return a->loc.line < b->loc.line;
+    return a->loc.column < b->loc.column;
+  });
+  return out;
+}
+
+const std::vector<TraceStep>* Analyzer::traceFor(const std::string& object) const {
+  const auto it = traces_.find(object);
+  return it != traces_.end() ? &it->second : nullptr;
+}
+
+const FunctionTaint* Analyzer::resultFor(const FunctionDecl* fn) const {
+  const auto it = by_fn_.find(fn);
+  return it != by_fn_.end() ? it->second : nullptr;
+}
+
+const FunctionTaint* Analyzer::resultFor(std::string_view function_name) const {
+  for (const auto& r : results_) {
+    if (r->fn->name == function_name) return r.get();
+  }
+  return nullptr;
+}
+
+}  // namespace fsdep::taint

@@ -1,0 +1,162 @@
+// The taint analyzer (paper §4.1): tracks the propagation of each
+// configuration parameter along data-flow paths.
+//
+// "We maintain a set to keep the initial configuration variables and any
+//  variables derived from the initial configuration variables. When a new
+//  variable is added to the set, we add the corresponding instruction to
+//  the taint trace too. We maintain a map to track if a variable is
+//  derived from multiple parameters."
+//
+// Seeds (the paper's manual annotations) name a variable inside a function
+// and the parameter it carries. Seeded variables are *sticky*: an
+// assignment to them never washes the seed label away, because the
+// variable IS the parameter.
+//
+// Two modes:
+//   * intra-procedural (the paper's prototype): calls are opaque; their
+//     result carries the union of argument labels.
+//   * inter-procedural (the paper's §6 future work, used for ablation):
+//     argument labels bind to callee parameters and return labels flow
+//     back, iterated to a whole-TU fixpoint.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "cfg/cfg.h"
+#include "sema/sema.h"
+#include "taint/state.h"
+
+namespace fsdep::taint {
+
+struct AnalysisOptions {
+  bool inter_procedural = false;
+  /// When false, reading a metadata field does not produce the field's
+  /// bridge label; CCD extraction then finds nothing (ablation knob).
+  bool field_bridging = true;
+  int max_global_passes = 10;
+  std::size_t max_trace_steps = 24;
+};
+
+/// A manual annotation: variable `variable` in function `function` carries
+/// configuration parameter `param` ("component.name").
+struct Seed {
+  std::string function;
+  std::string variable;
+  std::string param;
+};
+
+struct TraceStep {
+  SourceLoc loc;
+  std::string text;
+};
+
+/// One (deduplicated) tainted write observed during the run. The
+/// dependency extractor matches SD patterns against these.
+struct WriteEvent {
+  const ast::FunctionDecl* fn = nullptr;
+  const ast::Expr* assign = nullptr;  ///< the assignment expression
+  SourceLoc loc;
+  std::string object;       ///< "function.var" or "record.field"
+  bool is_field = false;
+  std::string field_key;    ///< set when is_field
+  LabelSet labels;          ///< labels flowing into the object
+  std::string rhs_callee;   ///< callee name when the RHS is a direct call
+  const ast::Expr* rhs = nullptr;      ///< RHS expression (null for out-params)
+  ast::BinaryOp op = ast::BinaryOp::Assign;  ///< assignment operator
+};
+
+/// Analysis results for one function.
+struct FunctionTaint {
+  const ast::FunctionDecl* fn = nullptr;
+  std::unique_ptr<cfg::Cfg> cfg;
+  /// Entry state of each basic block after the fixpoint (indexed by id).
+  std::vector<TaintState> block_entry;
+  /// State at the point each block's branch condition is evaluated.
+  std::vector<TaintState> at_condition;
+  /// Union of the states at every function exit (after the exit blocks'
+  /// statements ran).
+  TaintState exit_state;
+  LabelSet return_labels;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const ast::TranslationUnit& tu, sema::Sema& sema, AnalysisOptions options = {});
+
+  void addSeed(Seed seed);
+
+  /// Analyzes the given function definitions ("pre-selected functions" in
+  /// the paper's prototype). Empty list means every function in the TU.
+  void run(const std::vector<const ast::FunctionDecl*>& functions = {});
+
+  [[nodiscard]] const FunctionTaint* resultFor(const ast::FunctionDecl* fn) const;
+  [[nodiscard]] const FunctionTaint* resultFor(std::string_view function_name) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<FunctionTaint>>& results() const {
+    return results_;
+  }
+
+  [[nodiscard]] LabelTable& labels() { return labels_; }
+  [[nodiscard]] const LabelTable& labels() const { return labels_; }
+
+  /// Union of labels written to each metadata field anywhere in the run;
+  /// the extractor uses this to bridge components.
+  [[nodiscard]] const std::map<std::string, LabelSet>& fieldWrites() const {
+    return field_writes_;
+  }
+
+  /// All tainted writes, in deterministic (source) order.
+  [[nodiscard]] std::vector<const WriteEvent*> writeEvents() const;
+
+  /// Taint trace for an object ("function.var" or "record.field"); null
+  /// when the object never got tainted.
+  [[nodiscard]] const std::vector<TraceStep>* traceFor(const std::string& object) const;
+
+  /// Labels an expression may carry in `state` (no side effects applied).
+  [[nodiscard]] LabelSet labelsOf(const ast::Expr& expr, const TaintState& state) const;
+
+  [[nodiscard]] const AnalysisOptions& options() const { return options_; }
+  [[nodiscard]] const sema::Sema& semaRef() const { return sema_; }
+
+ private:
+  void seedEntryState(const ast::FunctionDecl& fn, TaintState& state);
+  void analyzeFunction(FunctionTaint& result);
+  void transferStmt(const ast::Stmt& stmt, TaintState& state);
+  LabelSet evalExpr(const ast::Expr& expr, TaintState& state, bool effects);
+  void assignTo(const ast::Expr& lhs, const ast::Expr* rhs, const LabelSet& labels, bool strong,
+                TaintState& state, SourceLoc loc, ast::BinaryOp op = ast::BinaryOp::Assign);
+  void recordTrace(const std::string& object, SourceLoc loc, std::string text);
+  void recordWrite(const ast::Expr& assign, const std::string& object, bool is_field,
+                   const std::string& field_key, const LabelSet& labels, const ast::Expr* rhs,
+                   SourceLoc loc, ast::BinaryOp op);
+  [[nodiscard]] std::string describeVar(const ast::VarDecl& var) const;
+  [[nodiscard]] const ast::VarDecl* findVarInFunction(const ast::FunctionDecl& fn,
+                                                      std::string_view name) const;
+
+  const ast::TranslationUnit& tu_;
+  sema::Sema& sema_;
+  AnalysisOptions options_;
+  mutable LabelTable labels_;
+  std::vector<Seed> seeds_;
+
+  std::vector<std::unique_ptr<FunctionTaint>> results_;
+  std::map<const ast::FunctionDecl*, FunctionTaint*> by_fn_;
+  const ast::FunctionDecl* current_fn_ = nullptr;
+  FunctionTaint* current_result_ = nullptr;
+
+  std::map<const ast::VarDecl*, LabelSet> sticky_;
+
+  // Inter-procedural machinery.
+  std::map<const ast::FunctionDecl*, TaintState> entry_bindings_;
+  std::map<const ast::FunctionDecl*, LabelSet> return_summaries_;
+  bool bindings_changed_ = false;
+
+  std::map<std::string, LabelSet> field_writes_;
+  std::map<std::string, std::vector<TraceStep>> traces_;
+  std::map<const ast::Expr*, WriteEvent> writes_;
+};
+
+}  // namespace fsdep::taint

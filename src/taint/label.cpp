@@ -1,0 +1,49 @@
+#include "taint/label.h"
+
+namespace fsdep::taint {
+
+LabelId LabelTable::intern(std::string name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+LabelId LabelTable::internParam(std::string_view qualified_param) {
+  return intern("param:" + std::string(qualified_param));
+}
+
+LabelId LabelTable::internField(std::string_view record, std::string_view field) {
+  return intern("field:" + std::string(record) + "." + std::string(field));
+}
+
+bool LabelTable::isParam(LabelId id) const { return names_[id].starts_with("param:"); }
+bool LabelTable::isField(LabelId id) const { return names_[id].starts_with("field:"); }
+
+std::string_view LabelTable::payload(LabelId id) const {
+  std::string_view n = names_[id];
+  const std::size_t colon = n.find(':');
+  return colon == std::string_view::npos ? n : n.substr(colon + 1);
+}
+
+bool unionInto(LabelSet& into, const LabelSet& from) {
+  bool changed = false;
+  for (const LabelId id : from) changed |= into.insert(id).second;
+  return changed;
+}
+
+std::string labelSetToString(const LabelTable& table, const LabelSet& set) {
+  std::string out = "{";
+  bool first = true;
+  for (const LabelId id : set) {
+    if (!first) out += ", ";
+    first = false;
+    out += table.name(id);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace fsdep::taint

@@ -1,0 +1,46 @@
+// Taint labels. Two families:
+//   param:<component>.<name>       — a configuration parameter (the taint
+//                                    sources of the paper's analysis)
+//   field:<record>.<field>         — a shared FS metadata field; these are
+//                                    the "bridge" labels that let the
+//                                    extractor connect parameters of
+//                                    different components (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fsdep::taint {
+
+using LabelId = std::uint32_t;
+using LabelSet = std::set<LabelId>;
+
+class LabelTable {
+ public:
+  LabelId internParam(std::string_view qualified_param);
+  LabelId internField(std::string_view record, std::string_view field);
+
+  [[nodiscard]] const std::string& name(LabelId id) const { return names_[id]; }
+  [[nodiscard]] bool isParam(LabelId id) const;
+  [[nodiscard]] bool isField(LabelId id) const;
+  /// Strips the family prefix: "param:mke2fs.blocksize" -> "mke2fs.blocksize".
+  [[nodiscard]] std::string_view payload(LabelId id) const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  LabelId intern(std::string name);
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> index_;
+};
+
+/// set union; returns true when `into` grew.
+bool unionInto(LabelSet& into, const LabelSet& from);
+
+/// Renders a label set like "{param:a.b, field:c.d}" for traces and tests.
+std::string labelSetToString(const LabelTable& table, const LabelSet& set);
+
+}  // namespace fsdep::taint

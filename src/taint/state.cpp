@@ -1,0 +1,29 @@
+#include "taint/state.h"
+
+namespace fsdep::taint {
+
+std::string fieldKey(std::string_view record, std::string_view field) {
+  std::string key(record);
+  key += '.';
+  key += field;
+  return key;
+}
+
+bool TaintState::mergeFrom(const TaintState& other) {
+  bool changed = false;
+  for (const auto& [var, labels] : other.vars) changed |= unionInto(vars[var], labels);
+  for (const auto& [key, labels] : other.fields) changed |= unionInto(fields[key], labels);
+  return changed;
+}
+
+LabelSet TaintState::varLabels(const ast::VarDecl* var) const {
+  const auto it = vars.find(var);
+  return it != vars.end() ? it->second : LabelSet{};
+}
+
+LabelSet TaintState::fieldLabels(const std::string& key) const {
+  const auto it = fields.find(key);
+  return it != fields.end() ? it->second : LabelSet{};
+}
+
+}  // namespace fsdep::taint

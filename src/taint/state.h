@@ -1,0 +1,33 @@
+// Taint state: which labels each memory object may carry at a program
+// point. Objects are (a) local/global variables, keyed by their VarDecl,
+// and (b) struct fields, keyed field-sensitively but object-insensitively
+// by "record.field" — all instances of ext4_super_block.s_blocks_count are
+// one object, which is exactly the abstraction that makes shared-metadata
+// bridging work.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ast/ast.h"
+#include "taint/label.h"
+
+namespace fsdep::taint {
+
+/// Field object key: "record.field".
+std::string fieldKey(std::string_view record, std::string_view field);
+
+struct TaintState {
+  std::map<const ast::VarDecl*, LabelSet> vars;
+  std::map<std::string, LabelSet> fields;
+
+  /// Pointwise union. Returns true when this state grew.
+  bool mergeFrom(const TaintState& other);
+
+  [[nodiscard]] LabelSet varLabels(const ast::VarDecl* var) const;
+  [[nodiscard]] LabelSet fieldLabels(const std::string& key) const;
+
+  bool operator==(const TaintState& other) const = default;
+};
+
+}  // namespace fsdep::taint

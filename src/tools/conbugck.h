@@ -1,0 +1,68 @@
+// ConBugCk (paper §4.2 usage 3): a plugin for FS test suites that
+// manipulates configurations WITHOUT violating the extracted
+// dependencies, so the driven tool gets past the shallow validation
+// layers and exercises deep code areas under many configuration states
+// ("without early crashing due to shallow errors").
+//
+// The measurement compares two generators over the fsim toolchain:
+//   * naive      — uniform random over each parameter's raw domain;
+//   * dep-aware  — random, then repaired to satisfy every dependency.
+// Coverage = distinct fsim coverage points reached (see fsim/coverage.h).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "model/dependency.h"
+
+namespace fsdep::tools {
+
+struct GeneratedConfig {
+  fsim::MkfsOptions mkfs;
+  fsim::MountOptions mount;
+  std::uint32_t resize_target = 0;  ///< 0 = no resize step
+};
+
+/// Deterministic xorshift generator so runs are reproducible.
+class ConfigGenerator {
+ public:
+  explicit ConfigGenerator(std::uint64_t seed) : state_(seed == 0 ? 1 : seed) {}
+
+  /// Uniform random configuration over raw parameter domains.
+  GeneratedConfig randomConfig();
+
+  /// Random configuration repaired to satisfy the given dependencies.
+  GeneratedConfig dependencyAwareConfig(const std::vector<model::Dependency>& deps);
+
+  std::uint64_t nextUint();
+  std::uint32_t pick(std::uint32_t bound);  ///< uniform in [0, bound)
+  bool coin() { return (nextUint() & 1) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Repairs a configuration in place so it satisfies the dependency set.
+void repairConfig(GeneratedConfig& config, const std::vector<model::Dependency>& deps);
+
+struct CampaignResult {
+  int runs = 0;
+  int mkfs_ok = 0;
+  int mount_ok = 0;
+  int pipeline_complete = 0;  ///< reached the end (files + umount + fsck)
+  std::set<std::string> coverage_points;
+};
+
+/// Drives `runs` generated configurations through the full fsim pipeline
+/// (mkfs -> mount -> files -> defrag/resize -> fsck) and accumulates
+/// coverage.
+CampaignResult runCampaign(int runs, bool dependency_aware,
+                           const std::vector<model::Dependency>& deps, std::uint64_t seed = 42);
+
+std::string formatCampaignComparison(const CampaignResult& naive, const CampaignResult& aware);
+
+}  // namespace fsdep::tools

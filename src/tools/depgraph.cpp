@@ -1,0 +1,82 @@
+#include "tools/depgraph.h"
+
+#include <map>
+#include <set>
+
+namespace fsdep::tools {
+
+namespace {
+
+std::string nodeId(std::string name) {
+  for (char& c : name) {
+    if (c == '.' || c == '-' || c == ' ') c = '_';
+  }
+  return name;
+}
+
+std::string componentOf(const std::string& qualified) {
+  return qualified.substr(0, qualified.find('.'));
+}
+
+}  // namespace
+
+std::string renderDependencyGraphDot(const std::vector<model::Dependency>& deps,
+                                     const GraphOptions& options) {
+  std::string out = "digraph fsdep {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+
+  std::map<std::string, std::set<std::string>> nodes_by_component;
+  std::string edges;
+  for (const model::Dependency& dep : deps) {
+    if (dep.other_param.empty()) {
+      if (!options.include_self_deps) continue;
+      nodes_by_component[componentOf(dep.param)].insert(dep.param);
+      continue;
+    }
+    nodes_by_component[componentOf(dep.param)].insert(dep.param);
+    nodes_by_component[componentOf(dep.other_param)].insert(dep.other_param);
+
+    std::string attrs = "label=\"";
+    attrs += model::constraintOpName(dep.op);
+    attrs += '"';
+    switch (dep.level()) {
+      case model::DepLevel::CrossComponent:
+        attrs += ", color=red, penwidth=2";
+        break;
+      case model::DepLevel::CrossParameter:
+        attrs += ", color=blue";
+        break;
+      case model::DepLevel::SelfDependency:
+        break;
+    }
+    if (!dep.bridge_field.empty()) {
+      attrs += ", tooltip=\"via " + dep.bridge_field + "\"";
+    }
+    edges += "  " + nodeId(dep.param) + " -> " + nodeId(dep.other_param) + " [" + attrs + "];\n";
+  }
+
+  if (options.cluster_by_component) {
+    int cluster = 0;
+    for (const auto& [component, nodes] : nodes_by_component) {
+      out += "  subgraph cluster_" + std::to_string(cluster++) + " {\n";
+      out += "    label=\"" + component + "\";\n";
+      for (const std::string& node : nodes) {
+        out += "    " + nodeId(node) + " [label=\"" + node + "\"];\n";
+      }
+      out += "  }\n";
+    }
+  } else {
+    for (const auto& [component, nodes] : nodes_by_component) {
+      for (const std::string& node : nodes) {
+        out += "  " + nodeId(node) + " [label=\"" + node + "\"];\n";
+      }
+    }
+  }
+
+  out += edges;
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fsdep::tools

@@ -1,0 +1,23 @@
+// Dependency-graph rendering: the extracted multi-level dependencies as
+// Graphviz dot, with cross-component edges highlighted. Backs the CLI's
+// `fsdep graph` command.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/dependency.h"
+
+namespace fsdep::tools {
+
+struct GraphOptions {
+  bool cluster_by_component = true;  ///< group nodes into component clusters
+  bool include_self_deps = false;    ///< SD nodes add noise; off by default
+};
+
+/// Renders the pairwise dependencies as a dot digraph. CCD edges are red,
+/// CPD edges blue; edge labels carry the constraint operator.
+std::string renderDependencyGraphDot(const std::vector<model::Dependency>& deps,
+                                     const GraphOptions& options = {});
+
+}  // namespace fsdep::tools

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "cfg/cfg.h"
+#include "lex/lexer.h"
+#include "sema/sema.h"
+
+namespace fsdep::cfg {
+namespace {
+
+using namespace ast;
+
+struct Built {
+  std::unique_ptr<TranslationUnit> tu;
+  std::unique_ptr<sema::Sema> sema;
+  std::unique_ptr<Cfg> cfg;
+};
+
+Built buildCfg(const std::string& body) {
+  static SourceManager sm;
+  static DiagnosticEngine diags;
+  diags.clear();
+  const FileId file = sm.addBuffer("t.c", "void f(int a, int b) {\n" + body + "\n}");
+  lex::Lexer lexer(sm, file, diags);
+  Parser parser(lexer.lexAll(), diags);
+  Built built;
+  built.tu = parser.parseTranslationUnit("t.c");
+  EXPECT_FALSE(diags.hasErrors()) << diags.render(sm);
+  built.sema = std::make_unique<sema::Sema>(*built.tu, diags);
+  built.sema->run();
+  built.cfg = Cfg::build(*built.tu->findFunction("f"));
+  return built;
+}
+
+int countConditionBlocks(const Cfg& cfg, bool loops_only = false) {
+  int n = 0;
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    const BasicBlock& b = cfg.block(id);
+    if (b.condition != nullptr && (!loops_only || b.is_loop_condition)) ++n;
+  }
+  return n;
+}
+
+TEST(Cfg, StraightLineIsOneBlockPlusNothing) {
+  const auto built = buildCfg("a = 1; b = 2; a = a + b;");
+  const Cfg& cfg = *built.cfg;
+  EXPECT_EQ(cfg.block(cfg.entry()).stmts.size(), 3u);
+  EXPECT_TRUE(cfg.block(cfg.entry()).is_exit);
+}
+
+TEST(Cfg, IfCreatesTrueFalseEdges) {
+  const auto built = buildCfg("if (a) { b = 1; }");
+  const Cfg& cfg = *built.cfg;
+  const BasicBlock& entry = cfg.block(cfg.entry());
+  ASSERT_NE(entry.condition, nullptr);
+  EXPECT_FALSE(entry.is_loop_condition);
+  ASSERT_EQ(entry.successors.size(), 2u);
+  bool has_true = false;
+  bool has_false = false;
+  for (const Edge& e : entry.successors) {
+    has_true |= e.kind == EdgeKind::True;
+    has_false |= e.kind == EdgeKind::False;
+  }
+  EXPECT_TRUE(has_true);
+  EXPECT_TRUE(has_false);
+}
+
+TEST(Cfg, IfElseJoins) {
+  const auto built = buildCfg("if (a) { b = 1; } else { b = 2; } a = b;");
+  const Cfg& cfg = *built.cfg;
+  // join block holds the trailing assignment and is reachable from both arms
+  bool found_join = false;
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    const BasicBlock& blk = cfg.block(id);
+    if (blk.stmts.size() == 1 && blk.predecessors.size() == 2) found_join = true;
+  }
+  EXPECT_TRUE(found_join);
+}
+
+TEST(Cfg, WhileLoopMarksLoopCondition) {
+  const auto built = buildCfg("while (a) { a = a - 1; }");
+  EXPECT_EQ(countConditionBlocks(*built.cfg), 1);
+  EXPECT_EQ(countConditionBlocks(*built.cfg, /*loops_only=*/true), 1);
+}
+
+TEST(Cfg, IfConditionIsNotLoopCondition) {
+  const auto built = buildCfg("if (a) { b = 1; }");
+  EXPECT_EQ(countConditionBlocks(*built.cfg, /*loops_only=*/true), 0);
+}
+
+TEST(Cfg, ForLoopHasIncrementBlock) {
+  const auto built = buildCfg("for (int i = 0; i < 10; i = i + 1) { a = a + i; }");
+  const Cfg& cfg = *built.cfg;
+  int inc_blocks = 0;
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    if (cfg.block(id).inc_expr != nullptr) ++inc_blocks;
+  }
+  EXPECT_EQ(inc_blocks, 1);
+  EXPECT_EQ(countConditionBlocks(cfg, /*loops_only=*/true), 1);
+}
+
+TEST(Cfg, DoWhileBodyPrecedesCondition) {
+  const auto built = buildCfg("do { a = a + 1; } while (a < 5);");
+  const Cfg& cfg = *built.cfg;
+  EXPECT_EQ(countConditionBlocks(cfg, /*loops_only=*/true), 1);
+  // The body block must be reachable from the entry without passing the
+  // condition (do-while executes the body first).
+  const BasicBlock& entry = cfg.block(cfg.entry());
+  ASSERT_FALSE(entry.successors.empty());
+  const BasicBlock& body = cfg.block(entry.successors[0].target);
+  EXPECT_FALSE(body.stmts.empty());
+}
+
+TEST(Cfg, BreakExitsLoop) {
+  const auto built = buildCfg("while (1) { if (a) { break; } b = b + 1; } a = 9;");
+  const Cfg& cfg = *built.cfg;
+  // The tail assignment must be reachable (the break edge).
+  const std::vector<BlockId> order = cfg.reversePostOrder();
+  bool tail_reachable = false;
+  for (const BlockId id : order) {
+    for (const Stmt* s : cfg.block(id).stmts) {
+      if (s->kind() == StmtKind::Expr) tail_reachable = true;
+    }
+  }
+  EXPECT_TRUE(tail_reachable);
+}
+
+TEST(Cfg, ReturnEndsBlock) {
+  const auto built = buildCfg("if (a) { return; } b = 1;");
+  const Cfg& cfg = *built.cfg;
+  int exit_blocks = 0;
+  for (BlockId id = 0; id < cfg.size(); ++id) exit_blocks += cfg.block(id).is_exit ? 1 : 0;
+  EXPECT_GE(exit_blocks, 2);
+}
+
+TEST(Cfg, SwitchDispatchIsMarked) {
+  const auto built = buildCfg(
+      "switch (a) { case 1: b = 1; break; case 2: b = 2; break; default: b = 0; }");
+  const Cfg& cfg = *built.cfg;
+  int dispatches = 0;
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    if (cfg.block(id).is_switch_dispatch) ++dispatches;
+  }
+  EXPECT_EQ(dispatches, 1);
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  const auto built = buildCfg("if (a) { b = 1; } else { b = 2; } while (b) { b = b - 1; }");
+  const Cfg& cfg = *built.cfg;
+  const std::vector<BlockId> order = cfg.reversePostOrder();
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), cfg.entry());
+  // RPO contains every reachable block exactly once.
+  std::set<BlockId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), order.size());
+}
+
+TEST(Cfg, DumpMentionsBranches) {
+  const auto built = buildCfg("if (a > 3) { b = 1; }");
+  const std::string dump = built.cfg->dump();
+  EXPECT_NE(dump.find("branch a > 3"), std::string::npos);
+  EXPECT_NE(dump.find("[true]"), std::string::npos);
+  EXPECT_NE(dump.find("[false]"), std::string::npos);
+}
+
+TEST(Cfg, PrototypeGetsTrivialGraph) {
+  static SourceManager sm;
+  static DiagnosticEngine diags;
+  diags.clear();
+  const FileId file = sm.addBuffer("p.c", "void g(int x);");
+  lex::Lexer lexer(sm, file, diags);
+  ast::Parser parser(lexer.lexAll(), diags);
+  auto tu = parser.parseTranslationUnit("p.c");
+  const FunctionDecl* fn = tu->findFunction("g");
+  const auto cfg = Cfg::build(*fn);
+  EXPECT_EQ(cfg->size(), 1u);
+  EXPECT_TRUE(cfg->block(cfg->entry()).is_exit);
+}
+
+}  // namespace
+}  // namespace fsdep::cfg

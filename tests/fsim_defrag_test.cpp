@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "fsim/defrag.h"
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+
+namespace fsdep::fsim {
+namespace {
+
+struct Fixture {
+  BlockDevice dev{16384, 1024};
+  std::vector<std::uint32_t> inos;
+
+  explicit Fixture(bool extents = true) {
+    MkfsOptions o;
+    o.block_size = 1024;
+    o.size_blocks = 8192;
+    o.blocks_per_group = 2048;
+    o.inode_ratio = 8192;
+    o.extents = extents;
+    EXPECT_TRUE(MkfsTool::format(dev, o).ok());
+  }
+
+  MountedFs mountAndFragment() {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    EXPECT_TRUE(mounted.ok());
+    MountedFs fs = std::move(mounted).take();
+    // Interleave allocations and deletions to fragment the free space.
+    std::vector<std::uint32_t> doomed;
+    for (int i = 0; i < 6; ++i) {
+      const auto keep = fs.createFile(4096, 1);
+      const auto kill = fs.createFile(2048, 1);
+      EXPECT_TRUE(keep.ok());
+      EXPECT_TRUE(kill.ok());
+      inos.push_back(keep.value());
+      doomed.push_back(kill.value());
+    }
+    for (const std::uint32_t ino : doomed) EXPECT_TRUE(fs.removeFile(ino).ok());
+    return fs;
+  }
+};
+
+TEST(Defrag, RequiresExtentFeature) {
+  Fixture f(/*extents=*/false);
+  auto mounted = MountTool::mount(f.dev, MountOptions{});
+  ASSERT_TRUE(mounted.ok());
+  MountedFs fs = std::move(mounted).take();
+  const auto report = DefragTool::run(fs, f.dev, DefragOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("extent"), std::string::npos);
+}
+
+TEST(Defrag, ReducesExtentCounts) {
+  Fixture f;
+  MountedFs fs = f.mountAndFragment();
+  const auto before = DefragTool::run(fs, f.dev, DefragOptions{.stat_only = true});
+  ASSERT_TRUE(before.ok());
+  EXPECT_GT(before.value().averageExtentsBefore(), 1.0)
+      << "the fixture must actually fragment files";
+
+  const auto report = DefragTool::run(fs, f.dev, DefragOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().defragmented, 0u);
+  EXPECT_LT(report.value().averageExtentsAfter(), report.value().averageExtentsBefore());
+}
+
+TEST(Defrag, StatOnlyDoesNotMoveAnything) {
+  Fixture f;
+  MountedFs fs = f.mountAndFragment();
+  const auto stat1 = DefragTool::run(fs, f.dev, DefragOptions{.stat_only = true});
+  ASSERT_TRUE(stat1.ok());
+  const auto stat2 = DefragTool::run(fs, f.dev, DefragOptions{.stat_only = true});
+  ASSERT_TRUE(stat2.ok());
+  EXPECT_EQ(stat1.value().averageExtentsBefore(), stat2.value().averageExtentsBefore());
+  EXPECT_EQ(stat1.value().defragmented, 0u);
+}
+
+TEST(Defrag, FilesystemStaysConsistent) {
+  Fixture f;
+  {
+    MountedFs fs = f.mountAndFragment();
+    ASSERT_TRUE(DefragTool::run(fs, f.dev, DefragOptions{}).ok());
+    fs.unmount();
+  }
+  const auto fsck = FsckTool::check(f.dev, FsckOptions{.force = true});
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck.value().isClean()) << fsck.value().summary();
+}
+
+TEST(Defrag, FileContentsSizesPreserved) {
+  Fixture f;
+  MountedFs fs = f.mountAndFragment();
+  ASSERT_TRUE(DefragTool::run(fs, f.dev, DefragOptions{}).ok());
+  for (const std::uint32_t ino : f.inos) {
+    const auto stat = fs.statFile(ino);
+    ASSERT_TRUE(stat.has_value()) << ino;
+    EXPECT_EQ(stat->size_bytes, 4096u);
+  }
+}
+
+TEST(Defrag, EmptyFilesystemIsFine) {
+  Fixture f;
+  auto mounted = MountTool::mount(f.dev, MountOptions{});
+  ASSERT_TRUE(mounted.ok());
+  MountedFs fs = std::move(mounted).take();
+  const auto report = DefragTool::run(fs, f.dev, DefragOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().files.empty());
+}
+
+}  // namespace
+}  // namespace fsdep::fsim

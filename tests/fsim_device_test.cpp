@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "fsim/block_device.h"
+#include "fsim/image.h"
+#include "fsim/layout.h"
+
+namespace fsdep::fsim {
+namespace {
+
+TEST(BlockDevice, ReadWriteRoundTrip) {
+  BlockDevice dev(16, 1024);
+  std::vector<std::uint8_t> out(1024, 0xAB);
+  dev.writeBlock(3, out);
+  std::vector<std::uint8_t> in(1024);
+  dev.readBlock(3, in);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(dev.readCount(), 1u);
+  EXPECT_EQ(dev.writeCount(), 1u);
+}
+
+TEST(BlockDevice, OutOfRangeThrows) {
+  BlockDevice dev(4, 1024);
+  std::vector<std::uint8_t> buf(1024);
+  EXPECT_THROW(dev.readBlock(4, buf), IoError);
+  EXPECT_THROW(dev.writeBlock(99, buf), IoError);
+}
+
+TEST(BlockDevice, RejectsNonPowerOfTwoBlockSize) {
+  EXPECT_THROW(BlockDevice(4, 1000), IoError);
+  EXPECT_THROW(BlockDevice(4, 0), IoError);
+}
+
+TEST(BlockDevice, ByteAccess) {
+  BlockDevice dev(4, 1024);
+  const std::uint8_t payload[] = {1, 2, 3, 4};
+  dev.writeBytes(1024, payload);
+  std::uint8_t in[4] = {};
+  dev.readBytes(1024, in);
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[3], 4);
+  EXPECT_THROW(dev.readBytes(4096 - 2, in), IoError);
+}
+
+TEST(BlockDevice, FaultInjection) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024);
+  dev.injectReadError(2);
+  dev.injectWriteError(3);
+  EXPECT_THROW(dev.readBlock(2, buf), IoError);
+  EXPECT_THROW(dev.writeBlock(3, buf), IoError);
+  dev.clearFaults();
+  EXPECT_NO_THROW(dev.readBlock(2, buf));
+  EXPECT_NO_THROW(dev.writeBlock(3, buf));
+}
+
+TEST(BlockDevice, CorruptionFlipsBytes) {
+  BlockDevice dev(4, 1024);
+  std::vector<std::uint8_t> zero(1024, 0);
+  dev.writeBlock(1, zero);
+  dev.corruptBlock(1, 10);
+  std::vector<std::uint8_t> in(1024);
+  dev.readBlock(1, in);
+  EXPECT_EQ(in[10], 0xFF);
+  EXPECT_EQ(in[11], 0x00);
+}
+
+TEST(BlockDevice, ResizeGrowsZeroed) {
+  BlockDevice dev(4, 1024);
+  dev.resize(8);
+  EXPECT_EQ(dev.blockCount(), 8u);
+  std::vector<std::uint8_t> in(1024, 0xFF);
+  dev.readBlock(7, in);
+  for (const std::uint8_t b : in) EXPECT_EQ(b, 0);
+}
+
+TEST(Bitmap, SetGetCount) {
+  Bitmap bm(100);
+  EXPECT_FALSE(bm.get(5));
+  bm.set(5, true);
+  bm.set(99, true);
+  EXPECT_TRUE(bm.get(5));
+  EXPECT_TRUE(bm.get(99));
+  EXPECT_EQ(bm.countSet(100), 2u);
+  bm.set(5, false);
+  EXPECT_EQ(bm.countSet(100), 1u);
+}
+
+TEST(Bitmap, OutOfRangeReadsAsUsed) {
+  Bitmap bm(8);
+  EXPECT_TRUE(bm.get(8));
+  EXPECT_TRUE(bm.get(1000));
+}
+
+TEST(Superblock, SerializeRoundTrip) {
+  Superblock sb;
+  sb.blocks_count = 123456;
+  sb.free_blocks_count = 777;
+  sb.log_block_size = 2;
+  sb.feature_compat = kCompatSparseSuper2;
+  sb.feature_incompat = kIncompatExtents | kIncompat64Bit;
+  sb.backup_bgs[0] = 1;
+  sb.backup_bgs[1] = 31;
+  sb.inode_size = 256;
+  sb.volume_name[0] = 'v';
+  sb.updateChecksum();
+
+  std::uint8_t buf[Superblock::kDiskSize];
+  sb.serialize(buf);
+  const Superblock back = Superblock::deserialize(buf);
+  EXPECT_EQ(back.blocks_count, sb.blocks_count);
+  EXPECT_EQ(back.free_blocks_count, sb.free_blocks_count);
+  EXPECT_EQ(back.feature_incompat, sb.feature_incompat);
+  EXPECT_EQ(back.backup_bgs[1], 31u);
+  EXPECT_EQ(back.volume_name[0], 'v');
+  EXPECT_EQ(back.checksum, sb.checksum);
+  EXPECT_EQ(back.computeChecksum(), back.checksum);
+}
+
+TEST(Superblock, ChecksumDetectsTampering) {
+  Superblock sb;
+  sb.blocks_count = 4096;
+  sb.updateChecksum();
+  sb.blocks_count = 4097;
+  EXPECT_NE(sb.computeChecksum(), sb.checksum);
+}
+
+TEST(Superblock, GroupGeometry) {
+  Superblock sb;
+  sb.first_data_block = 1;
+  sb.blocks_count = 2048;
+  sb.blocks_per_group = 512;
+  EXPECT_EQ(sb.groupCount(), 4u);
+  EXPECT_EQ(sb.blocksInGroup(0), 512u);
+  EXPECT_EQ(sb.blocksInGroup(3), 511u);  // last group is short by one
+  EXPECT_EQ(sb.blocksInGroup(4), 0u);
+}
+
+TEST(Layout, SparseBackupGroups) {
+  EXPECT_TRUE(isSparseBackupGroup(0));
+  EXPECT_TRUE(isSparseBackupGroup(1));
+  EXPECT_TRUE(isSparseBackupGroup(3));
+  EXPECT_TRUE(isSparseBackupGroup(9));
+  EXPECT_TRUE(isSparseBackupGroup(27));
+  EXPECT_TRUE(isSparseBackupGroup(5));
+  EXPECT_TRUE(isSparseBackupGroup(25));
+  EXPECT_TRUE(isSparseBackupGroup(7));
+  EXPECT_TRUE(isSparseBackupGroup(49));
+  EXPECT_FALSE(isSparseBackupGroup(2));
+  EXPECT_FALSE(isSparseBackupGroup(4));
+  EXPECT_FALSE(isSparseBackupGroup(6));
+  EXPECT_FALSE(isSparseBackupGroup(10));
+}
+
+TEST(Layout, BackupGroupSelectionByFeature) {
+  Superblock sb;
+  sb.first_data_block = 0;
+  sb.blocks_count = 512 * 30;
+  sb.blocks_per_group = 512;
+
+  sb.feature_ro_compat = kRoCompatSparseSuper;
+  const auto sparse = backupGroups(sb);
+  EXPECT_EQ(sparse, (std::vector<std::uint32_t>{1, 3, 5, 7, 9, 25, 27}));
+
+  sb.feature_ro_compat = 0;
+  sb.feature_compat = kCompatSparseSuper2;
+  sb.backup_bgs[0] = 1;
+  sb.backup_bgs[1] = 29;
+  const auto sparse2 = backupGroups(sb);
+  EXPECT_EQ(sparse2, (std::vector<std::uint32_t>{1, 29}));
+
+  sb.feature_compat = 0;
+  const auto all = backupGroups(sb);
+  EXPECT_EQ(all.size(), 29u);  // every group except 0
+}
+
+TEST(Inode, SerializeRoundTrip) {
+  Inode inode;
+  inode.size_bytes = 40960;
+  inode.links = 1;
+  inode.extents = {{100, 8}, {300, 2}};
+  std::uint8_t buf[Inode::kDiskSize];
+  inode.serialize(buf);
+  const Inode back = Inode::deserialize(buf);
+  EXPECT_EQ(back.size_bytes, inode.size_bytes);
+  EXPECT_EQ(back.links, 1);
+  ASSERT_EQ(back.extents.size(), 2u);
+  EXPECT_EQ(back.extents[1].start, 300u);
+  EXPECT_EQ(back.extents[1].length, 2u);
+}
+
+}  // namespace
+}  // namespace fsdep::fsim

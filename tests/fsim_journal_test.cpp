@@ -1,0 +1,172 @@
+// Journal semantics: crash leaves the journal dirty, mount replays it,
+// noload skips recovery, fsck flags and repairs the recovery requirement.
+#include <gtest/gtest.h>
+
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+
+namespace fsdep::fsim {
+namespace {
+
+BlockDevice makeFs(bool has_journal = true) {
+  BlockDevice dev(8192, 1024);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 4096;
+  o.blocks_per_group = 1024;
+  o.inode_ratio = 8192;
+  o.has_journal = has_journal;
+  EXPECT_TRUE(MkfsTool::format(dev, o).ok());
+  return dev;
+}
+
+TEST(Journal, MkfsReservesTheArea) {
+  BlockDevice dev = makeFs();
+  FsImage image(dev);
+  const Superblock sb = image.loadSuperblock();
+  EXPECT_GT(sb.journal_blocks, 0u);
+  EXPECT_GT(sb.journal_start, 0u);
+  // The journal blocks are accounted as used in group 0's bitmap.
+  const Bitmap bitmap = image.loadBlockBitmap(sb, 0);
+  const std::uint32_t first_bit = sb.journal_start - FsImage::groupFirstBlock(sb, 0);
+  EXPECT_TRUE(bitmap.get(first_bit));
+  EXPECT_TRUE(bitmap.get(first_bit + sb.journal_blocks - 1));
+}
+
+TEST(Journal, NoJournalMeansNoArea) {
+  BlockDevice dev = makeFs(/*has_journal=*/false);
+  FsImage image(dev);
+  const Superblock sb = image.loadSuperblock();
+  EXPECT_EQ(sb.journal_blocks, 0u);
+  EXPECT_FALSE(sb.hasCompat(kCompatHasJournal));
+}
+
+TEST(Journal, CleanUnmountLeavesQuiescentJournal) {
+  BlockDevice dev = makeFs();
+  auto mounted = MountTool::mount(dev, MountOptions{});
+  ASSERT_TRUE(mounted.ok());
+  ASSERT_TRUE(mounted.value().createFile(2048).ok());
+  mounted.value().unmount();
+  FsImage image(dev);
+  EXPECT_EQ(image.loadSuperblock().journal_dirty, 0);
+}
+
+TEST(Journal, CrashLeavesJournalDirtyAndFsckFlagsIt) {
+  BlockDevice dev = makeFs();
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    ASSERT_TRUE(mounted.value().createFile(2048).ok());
+    mounted.value().crash();  // no clean unmount write
+  }
+  FsImage image(dev);
+  EXPECT_NE(image.loadSuperblock().journal_dirty, 0);
+
+  const auto fsck = FsckTool::check(dev, FsckOptions{.force = true});
+  ASSERT_TRUE(fsck.ok());
+  bool recovery_flagged = false;
+  for (const FsckProblem& p : fsck.value().problems) {
+    recovery_flagged |= p.description.find("journal needs recovery") != std::string::npos;
+  }
+  EXPECT_TRUE(recovery_flagged) << fsck.value().summary();
+}
+
+TEST(Journal, MountReplaysAfterCrash) {
+  BlockDevice dev = makeFs();
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    ASSERT_TRUE(mounted.value().createFile(2048).ok());
+    mounted.value().crash();
+  }
+  // Remount: replay runs, then a clean unmount leaves everything tidy.
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok()) << mounted.error().message;
+    mounted.value().unmount();
+  }
+  const auto fsck = FsckTool::check(dev, FsckOptions{.force = true});
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck.value().isClean()) << fsck.value().summary();
+}
+
+TEST(Journal, NoloadSkipsRecoveryAndLeavesJournalDirty) {
+  BlockDevice dev = makeFs();
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    mounted.value().crash();
+  }
+  MountOptions noload;
+  noload.noload = true;
+  noload.read_only = true;
+  {
+    auto mounted = MountTool::mount(dev, noload);
+    ASSERT_TRUE(mounted.ok()) << mounted.error().message;
+    mounted.value().unmount();  // read-only: writes nothing
+  }
+  FsImage image(dev);
+  EXPECT_NE(image.loadSuperblock().journal_dirty, 0)
+      << "noload must not replay the journal";
+}
+
+TEST(Journal, FsckRepairClearsRecoveryFlag) {
+  BlockDevice dev = makeFs();
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    mounted.value().crash();
+  }
+  const auto repair = FsckTool::check(dev, FsckOptions{.force = true, .repair = true});
+  ASSERT_TRUE(repair.ok());
+  FsImage image(dev);
+  EXPECT_EQ(image.loadSuperblock().journal_dirty, 0);
+  const auto recheck = FsckTool::check(dev, FsckOptions{.force = true});
+  EXPECT_TRUE(recheck.value().isClean()) << recheck.value().summary();
+}
+
+TEST(Journal, ReplayRebuildsCountsFromBitmaps) {
+  BlockDevice dev = makeFs();
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    ASSERT_TRUE(mounted.value().createFile(4096).ok());
+    mounted.value().crash();
+  }
+  // Simulate the torn in-flight transaction: scramble the superblock's
+  // free count the way a crash mid-update would.
+  FsImage image(dev);
+  Superblock sb = image.loadSuperblock();
+  sb.free_blocks_count += 13;
+  sb.updateChecksum();
+  image.storeSuperblock(sb);
+
+  // Replay on mount must rebuild the counts from the bitmaps.
+  {
+    auto mounted = MountTool::mount(dev, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    mounted.value().unmount();
+  }
+  const auto fsck = FsckTool::check(dev, FsckOptions{.force = true});
+  EXPECT_TRUE(fsck.value().isClean()) << fsck.value().summary();
+}
+
+TEST(Journal, JournalledGeometrySurvivesMkfsFsck) {
+  // Journal sizing must not break any of the standard geometries.
+  for (const std::uint32_t size : {1024u, 2048u, 4096u, 8000u}) {
+    BlockDevice dev(16384, 1024);
+    MkfsOptions o;
+    o.block_size = 1024;
+    o.size_blocks = size;
+    o.blocks_per_group = 512;
+    o.inode_ratio = 8192;
+    o.has_journal = true;
+    ASSERT_TRUE(MkfsTool::format(dev, o).ok()) << size;
+    const auto fsck = FsckTool::check(dev, FsckOptions{.force = true});
+    EXPECT_TRUE(fsck.value().isClean()) << size << ": " << fsck.value().summary();
+  }
+}
+
+}  // namespace
+}  // namespace fsdep::fsim

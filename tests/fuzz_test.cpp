@@ -1,0 +1,282 @@
+// Deterministic fuzz / property tests: the frontend must never crash on
+// malformed input, the JSON parser must be total, the taint analysis must
+// track synthesized dataflow chains, and the simulator must stay
+// consistent under arbitrary valid operation sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ast/parser.h"
+#include "fsim/defrag.h"
+#include "fsim/fsck.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/resize.h"
+#include "json/json.h"
+#include "lex/preprocessor.h"
+#include "sema/sema.h"
+#include "taint/analyzer.h"
+
+namespace fsdep {
+namespace {
+
+/// xorshift64* — deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9E3779B9u : seed) {}
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  std::uint32_t below(std::uint32_t bound) {
+    return bound == 0 ? 0 : static_cast<std::uint32_t>(next() % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------
+// JSON fuzz
+// ---------------------------------------------------------------------
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const std::uint32_t length = rng.below(64);
+    for (std::uint32_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.below(127) + 1);
+    }
+    (void)json::parse(garbage);  // must not crash or hang; result may be error
+  }
+  SUCCEED();
+}
+
+TEST_P(JsonFuzz, RandomStructuredDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  // Build a random value tree, write it, reparse, compare.
+  std::function<json::Value(int)> build = [&](int depth) -> json::Value {
+    const int kind = depth > 3 ? static_cast<int>(rng.below(4)) : static_cast<int>(rng.below(6));
+    switch (kind) {
+      case 0: return json::Value(nullptr);
+      case 1: return json::Value(rng.below(2) == 0);
+      case 2: return json::Value(static_cast<std::int64_t>(rng.next() % 1000000) - 500000);
+      case 3: {
+        std::string s;
+        const std::uint32_t len = rng.below(12);
+        for (std::uint32_t i = 0; i < len; ++i) {
+          s += static_cast<char>('a' + rng.below(26));
+        }
+        return json::Value(std::move(s));
+      }
+      case 4: {
+        json::Array arr;
+        const std::uint32_t n = rng.below(4);
+        for (std::uint32_t i = 0; i < n; ++i) arr.push_back(build(depth + 1));
+        return json::Value(std::move(arr));
+      }
+      default: {
+        json::Object obj;
+        const std::uint32_t n = rng.below(4);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          obj["k" + std::to_string(i)] = build(depth + 1);
+        }
+        return json::Value(std::move(obj));
+      }
+    }
+  };
+  for (int round = 0; round < 50; ++round) {
+    const json::Value original = build(0);
+    const auto compact = json::parse(json::writeCompact(original));
+    ASSERT_TRUE(compact.ok());
+    EXPECT_TRUE(original == compact.value());
+    const auto pretty = json::parse(json::writePretty(original));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_TRUE(original == pretty.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------
+// Frontend fuzz
+// ---------------------------------------------------------------------
+
+class FrontendFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrontendFuzz, TokenSoupNeverCrashesTheParser) {
+  Rng rng(GetParam());
+  const char* vocabulary[] = {
+      "int",   "long", "struct", "enum",   "if",     "else",  "while", "return", "{",
+      "}",     "(",    ")",      "[",      "]",      ";",     ",",     "=",      "==",
+      "&&",    "||",   "<",      ">",      "+",      "-",     "*",     "/",      "&",
+      "|",     "!",    "->",     ".",      "x",      "y",     "sb",    "blocks", "42",
+      "0x1F",  "'c'",  "\"s\"",  "typedef", "switch", "case",  "break", "default", "?",
+      ":",     "sizeof", "void", "unsigned", "char",
+  };
+  for (int round = 0; round < 60; ++round) {
+    std::string soup;
+    const std::uint32_t tokens = rng.below(80) + 1;
+    for (std::uint32_t i = 0; i < tokens; ++i) {
+      soup += vocabulary[rng.below(std::size(vocabulary))];
+      soup += ' ';
+    }
+    SourceManager sm;
+    DiagnosticEngine diags;
+    const FileId file = sm.addBuffer("soup.c", soup);
+    lex::Lexer lexer(sm, file, diags);
+    ast::Parser parser(lexer.lexAll(), diags);
+    const auto tu = parser.parseTranslationUnit("soup.c");
+    ASSERT_NE(tu, nullptr);
+    // Sema must digest whatever survived parsing, too.
+    sema::Sema sema(*tu, diags);
+    (void)sema.run();
+  }
+  SUCCEED();
+}
+
+TEST_P(FrontendFuzz, RandomBytesNeverCrashTheLexer) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::string bytes;
+    const std::uint32_t length = rng.below(200);
+    for (std::uint32_t i = 0; i < length; ++i) {
+      bytes += static_cast<char>(rng.below(255) + 1);
+    }
+    SourceManager sm;
+    DiagnosticEngine diags;
+    const FileId file = sm.addBuffer("bytes.c", bytes);
+    lex::Lexer lexer(sm, file, diags);
+    (void)lexer.lexAll();
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontendFuzz, ::testing::Values(3u, 17u, 256u, 4096u));
+
+// ---------------------------------------------------------------------
+// Taint property: synthesized dataflow chains
+// ---------------------------------------------------------------------
+
+class TaintChainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaintChainProperty, ChainsPropagateAndBystandersStayClean) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const int chain_length = 2 + static_cast<int>(rng.below(8));
+    // Build: seed v0; v1 = v0 op k; ... vn = v(n-1) op k; plus a clean
+    // bystander chain c0..cn.
+    std::string body = "  long v0 = 0;\n  long c0 = 1;\n";
+    const char* ops[] = {"+", "*", "-", "|", "&", "^", ">>", "<<"};
+    for (int i = 1; i <= chain_length; ++i) {
+      body += "  long v" + std::to_string(i) + " = v" + std::to_string(i - 1) + " " +
+              ops[rng.below(std::size(ops))] + " " + std::to_string(1 + rng.below(7)) + ";\n";
+      body += "  long c" + std::to_string(i) + " = c" + std::to_string(i - 1) + " + 1;\n";
+    }
+    const std::string program = "void f(void) {\n" + body + "}\n";
+
+    SourceManager sm;
+    DiagnosticEngine diags;
+    const FileId file = sm.addBuffer("chain.c", program);
+    lex::Lexer lexer(sm, file, diags);
+    ast::Parser parser(lexer.lexAll(), diags);
+    auto tu = parser.parseTranslationUnit("chain.c");
+    ASSERT_FALSE(diags.hasErrors()) << program;
+    sema::Sema sema(*tu, diags);
+    sema.run();
+    taint::Analyzer analyzer(*tu, sema);
+    analyzer.addSeed({"f", "v0", "prop.seed"});
+    analyzer.run();
+
+    const taint::FunctionTaint* ft = analyzer.resultFor("f");
+    ASSERT_NE(ft, nullptr);
+    bool tainted_last = false;
+    bool clean_last = true;
+    const std::string last_v = "v" + std::to_string(chain_length);
+    const std::string last_c = "c" + std::to_string(chain_length);
+    for (const auto& [var, labels] : ft->exit_state.vars) {
+      if (var->name == last_v && !labels.empty()) tainted_last = true;
+      if (var->name == last_c && !labels.empty()) clean_last = false;
+    }
+    EXPECT_TRUE(tainted_last) << program;
+    EXPECT_TRUE(clean_last) << program;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaintChainProperty, ::testing::Values(11u, 222u, 3333u));
+
+// ---------------------------------------------------------------------
+// Simulator property: arbitrary valid operation sequences stay consistent
+// ---------------------------------------------------------------------
+
+class FsimSequenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsimSequenceProperty, RandomOperationSequencesKeepFsckClean) {
+  Rng rng(GetParam());
+  fsim::BlockDevice device(16384, 1024);
+  fsim::MkfsOptions options;
+  options.block_size = 1024;
+  options.size_blocks = 4096;
+  options.blocks_per_group = 1024;
+  options.inode_ratio = 8192;
+  ASSERT_TRUE(fsim::MkfsTool::format(device, options).ok());
+
+  std::vector<std::uint32_t> live_inodes;
+  for (int step = 0; step < 40; ++step) {
+    const std::uint32_t op = rng.below(6);
+    if (op <= 2) {
+      // Mount and do file work.
+      auto mounted = fsim::MountTool::mount(device, fsim::MountOptions{});
+      ASSERT_TRUE(mounted.ok()) << mounted.error().message;
+      fsim::MountedFs fs = std::move(mounted).take();
+      if (op == 0 || live_inodes.empty()) {
+        const auto ino = fs.createFile(1024 + rng.below(8) * 1024, rng.below(3));
+        if (ino.ok()) live_inodes.push_back(ino.value());
+      } else if (op == 1) {
+        const std::uint32_t victim = rng.below(static_cast<std::uint32_t>(live_inodes.size()));
+        (void)fs.removeFile(live_inodes[victim]);
+        live_inodes.erase(live_inodes.begin() + victim);
+      } else {
+        (void)fsim::DefragTool::run(fs, device, fsim::DefragOptions{});
+      }
+      fs.unmount();
+    } else if (op == 3) {
+      // Grow by a random amount.
+      fsim::FsImage image(device);
+      const std::uint32_t current = image.loadSuperblock().blocks_count;
+      fsim::ResizeOptions ro;
+      ro.new_size_blocks = current + 512 + rng.below(4) * 512;
+      ro.fix_sparse_super2_accounting = true;
+      if (ro.new_size_blocks <= 14336) (void)fsim::ResizeTool::resize(device, ro);
+    } else if (op == 4) {
+      // Shrink toward (but not below) the allocation.
+      fsim::FsImage image(device);
+      const fsim::Superblock sb = image.loadSuperblock();
+      const std::uint32_t in_use = sb.blocks_count - sb.free_blocks_count;
+      if (sb.blocks_count > in_use + 1024) {
+        fsim::ResizeOptions ro;
+        ro.new_size_blocks = sb.blocks_count - 512;
+        (void)fsim::ResizeTool::resize(device, ro);
+      }
+    } else {
+      // Interleave a repair-mode fsck (must be a no-op on a clean fs).
+      (void)fsim::FsckTool::check(device, fsim::FsckOptions{.force = true, .repair = true});
+    }
+
+    const auto fsck = fsim::FsckTool::check(device, fsim::FsckOptions{.force = true});
+    ASSERT_TRUE(fsck.ok());
+    ASSERT_TRUE(fsck.value().isClean())
+        << "step " << step << ": " << fsck.value().summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsimSequenceProperty,
+                         ::testing::Values(5u, 77u, 901u, 20240u, 777777u));
+
+}  // namespace
+}  // namespace fsdep

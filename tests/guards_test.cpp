@@ -1,0 +1,196 @@
+// Unit tests for the guard analysis building blocks: DNF normalization of
+// violation conditions (including De Morgan flips), bit-test mask
+// recognition, the power-of-two idiom, and member-read discovery.
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "extract/guards.h"
+#include "lex/lexer.h"
+#include "sema/sema.h"
+
+namespace fsdep::extract {
+namespace {
+
+using namespace ast;
+
+struct Parsed {
+  std::unique_ptr<TranslationUnit> tu;
+  std::unique_ptr<sema::Sema> sema;
+  const Expr* expr = nullptr;
+};
+
+/// Parses `void f(...){ if (<cond>) {} }` and returns the condition.
+Parsed parseCondition(const std::string& cond) {
+  static SourceManager sm;
+  static DiagnosticEngine diags;
+  diags.clear();
+  const std::string program =
+      "struct sb { unsigned int compat; unsigned int blocks; };\n"
+      "void f(struct sb *s, long a, long b, int flag1, int flag2) {\n"
+      "  if (" + cond + ") { a = 0; }\n"
+      "}\n";
+  const FileId file = sm.addBuffer("g.c", program);
+  lex::Lexer lexer(sm, file, diags);
+  Parser parser(lexer.lexAll(), diags);
+  Parsed p;
+  p.tu = parser.parseTranslationUnit("g.c");
+  EXPECT_FALSE(diags.hasErrors()) << diags.render(sm);
+  p.sema = std::make_unique<sema::Sema>(*p.tu, diags);
+  p.sema->run();
+  const FunctionDecl* fn = p.tu->findFunction("f");
+  const auto& body = static_cast<const CompoundStmt&>(*fn->body);
+  const auto& if_stmt = static_cast<const IfStmt&>(*body.body.at(0));
+  p.expr = if_stmt.cond.get();
+  return p;
+}
+
+std::string renderDnf(const std::vector<Violation>& dnf) {
+  std::string out;
+  for (std::size_t i = 0; i < dnf.size(); ++i) {
+    if (i != 0) out += " OR ";
+    out += '(';
+    for (std::size_t j = 0; j < dnf[i].size(); ++j) {
+      if (j != 0) out += " AND ";
+      const Atom& atom = dnf[i][j];
+      if (atom.negated) out += '!';
+      if (atom.is_comparison) {
+        out += exprToString(*atom.lhs) + ' ' + binaryOpSpelling(atom.cmp) + ' ' +
+               exprToString(*atom.rhs);
+      } else {
+        out += exprToString(*atom.expr);
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+TEST(Dnf, SingleAtom) {
+  const Parsed p = parseCondition("flag1");
+  EXPECT_EQ(renderDnf(toDnf(*p.expr, false)), "(flag1)");
+  EXPECT_EQ(renderDnf(toDnf(*p.expr, true)), "(!flag1)");
+}
+
+TEST(Dnf, ConjunctionStaysOneViolation) {
+  const Parsed p = parseCondition("flag1 && flag2");
+  EXPECT_EQ(renderDnf(toDnf(*p.expr, false)), "(flag1 AND flag2)");
+}
+
+TEST(Dnf, DisjunctionSplits) {
+  const Parsed p = parseCondition("a < 1 || a > 9");
+  const auto dnf = toDnf(*p.expr, false);
+  EXPECT_EQ(renderDnf(dnf), "(a < 1) OR (a > 9)");
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_EQ(dnf[0].size(), 1u);
+  EXPECT_EQ(dnf[1].size(), 1u);
+}
+
+TEST(Dnf, NegatedConjunctionBecomesDisjunction) {
+  // !(A && B) == !A || !B (De Morgan).
+  const Parsed p = parseCondition("flag1 && flag2");
+  const auto dnf = toDnf(*p.expr, true);
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_TRUE(dnf[0][0].negated);
+  EXPECT_TRUE(dnf[1][0].negated);
+}
+
+TEST(Dnf, NegatedDisjunctionBecomesConjunction) {
+  // !(A || B) == !A && !B.
+  const Parsed p = parseCondition("flag1 || flag2");
+  const auto dnf = toDnf(*p.expr, true);
+  ASSERT_EQ(dnf.size(), 1u);
+  ASSERT_EQ(dnf[0].size(), 2u);
+  EXPECT_TRUE(dnf[0][0].negated);
+  EXPECT_TRUE(dnf[0][1].negated);
+}
+
+TEST(Dnf, CrossProductOfDisjunctions) {
+  // (A || B) && (C || D) -> 4 violations.
+  const Parsed p = parseCondition("(flag1 || flag2) && (a < 1 || b > 2)");
+  EXPECT_EQ(toDnf(*p.expr, false).size(), 4u);
+}
+
+TEST(Dnf, DoubleNegationCancels) {
+  const Parsed p = parseCondition("!!flag1");
+  const auto dnf = toDnf(*p.expr, false);
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_FALSE(dnf[0][0].negated);
+}
+
+TEST(Dnf, ComparisonPolarityFoldsIntoOperator) {
+  // !(a < b) becomes the atom a >= b, not a negated atom.
+  const Parsed p = parseCondition("a < b");
+  const auto dnf = toDnf(*p.expr, true);
+  ASSERT_EQ(dnf.size(), 1u);
+  const Atom& atom = dnf[0][0];
+  EXPECT_TRUE(atom.is_comparison);
+  EXPECT_FALSE(atom.negated);
+  EXPECT_EQ(atom.cmp, BinaryOp::Ge);
+}
+
+TEST(Dnf, EqualsZeroNormalizesToNegatedFlag) {
+  const Parsed p = parseCondition("flag1 == 0");
+  const auto dnf = toDnf(*p.expr, false);
+  ASSERT_EQ(dnf.size(), 1u);
+  const Atom& atom = dnf[0][0];
+  EXPECT_FALSE(atom.is_comparison);
+  EXPECT_TRUE(atom.negated);
+  EXPECT_EQ(exprToString(*atom.expr), "flag1");
+}
+
+TEST(Dnf, NotEqualsZeroNormalizesToPositiveFlag) {
+  const Parsed p = parseCondition("flag1 != 0");
+  const auto dnf = toDnf(*p.expr, false);
+  const Atom& atom = dnf[0][0];
+  EXPECT_FALSE(atom.is_comparison);
+  EXPECT_FALSE(atom.negated);
+}
+
+TEST(BitTest, MaskFromEnumConstant) {
+  const Parsed p = parseCondition("s->compat & 16");
+  const auto mask = bitTestMask(*p.expr, *p.sema);
+  ASSERT_TRUE(mask.has_value());
+  EXPECT_EQ(*mask, 16);
+}
+
+TEST(BitTest, MaskOnEitherSide) {
+  const Parsed p = parseCondition("512 & s->compat");
+  const auto mask = bitTestMask(*p.expr, *p.sema);
+  ASSERT_TRUE(mask.has_value());
+  EXPECT_EQ(*mask, 512);
+}
+
+TEST(BitTest, NonConstantHasNoMask) {
+  const Parsed p = parseCondition("a & b");
+  EXPECT_FALSE(bitTestMask(*p.expr, *p.sema).has_value());
+}
+
+TEST(PowerOfTwo, RecognizesTheIdiom) {
+  const Parsed p = parseCondition("a & (a - 1)");
+  EXPECT_TRUE(isPowerOfTwoTest(*p.expr));
+}
+
+TEST(PowerOfTwo, RejectsMismatchedOperands) {
+  const Parsed p = parseCondition("a & (b - 1)");
+  EXPECT_FALSE(isPowerOfTwoTest(*p.expr));
+}
+
+TEST(PowerOfTwo, RejectsPlainBitTest) {
+  const Parsed p = parseCondition("a & 8");
+  EXPECT_FALSE(isPowerOfTwoTest(*p.expr));
+}
+
+TEST(MemberRead, FindsNestedMember) {
+  const Parsed p = parseCondition("(s->blocks + 1) > a");
+  const MemberExpr* member = findMemberRead(*p.expr);
+  ASSERT_NE(member, nullptr);
+  EXPECT_EQ(member->member, "blocks");
+}
+
+TEST(MemberRead, NullWhenNoMember) {
+  const Parsed p = parseCondition("a + b > 1");
+  EXPECT_EQ(findMemberRead(*p.expr), nullptr);
+}
+
+}  // namespace
+}  // namespace fsdep::extract

@@ -1,0 +1,59 @@
+// Error-path and robustness tests for the corpus pipeline wrapper.
+#include <gtest/gtest.h>
+
+#include "corpus/pipeline.h"
+
+namespace fsdep::corpus {
+namespace {
+
+TEST(Pipeline, UnknownComponentThrows) {
+  EXPECT_THROW(AnalyzedComponent("reiserfs", taint::AnalysisOptions{}), std::runtime_error);
+}
+
+TEST(Pipeline, UnknownFunctionThrows) {
+  AnalyzedComponent component("mke2fs", taint::AnalysisOptions{});
+  EXPECT_THROW(component.analyze({"not_a_function"}), std::runtime_error);
+}
+
+TEST(Pipeline, EmptySelectionAnalyzesEverything) {
+  AnalyzedComponent component("resize2fs", taint::AnalysisOptions{});
+  component.analyze({});
+  // Every function definition of the TU must have a result.
+  for (const ast::FunctionDecl* fn : component.tu().functions()) {
+    EXPECT_NE(component.analyzer().resultFor(fn), nullptr) << fn->name;
+  }
+}
+
+TEST(Pipeline, ReanalysisIsIdempotent) {
+  AnalyzedComponent component("mke2fs", taint::AnalysisOptions{});
+  component.analyze({"mke2fs_main"});
+  const std::size_t first = component.analyzer().writeEvents().size();
+  component.analyze({"mke2fs_main"});
+  EXPECT_EQ(component.analyzer().writeEvents().size(), first);
+}
+
+TEST(Pipeline, ComponentRunPointsBackAtTheComponent) {
+  AnalyzedComponent component("ext4", taint::AnalysisOptions{});
+  component.analyze({"ext4_fill_super"});
+  const extract::ComponentRun run = component.asRun();
+  EXPECT_EQ(run.component, "ext4");
+  EXPECT_TRUE(run.is_kernel);
+  EXPECT_EQ(run.analyzer, &component.analyzer());
+}
+
+TEST(Pipeline, SourceManagerKeepsTheSources) {
+  AnalyzedComponent component("e2fsck", taint::AnalysisOptions{});
+  EXPECT_GE(component.sourceManager().fileCount(), 3u);  // main + 2 headers
+  EXPECT_TRUE(component.sourceManager().findByName("e2fsck.c").valid());
+  EXPECT_TRUE(component.sourceManager().findByName("ext4_fs.h").valid());
+}
+
+TEST(Pipeline, FormatTable5ContainsScenarioTitles) {
+  const std::string table = formatTable5(runTable5());
+  for (const Scenario& s : scenarios()) {
+    EXPECT_NE(table.find(s.title), std::string::npos) << s.title;
+  }
+}
+
+}  // namespace
+}  // namespace fsdep::corpus

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lex/preprocessor.h"
+
+namespace fsdep::lex {
+namespace {
+
+struct PpResult {
+  std::vector<Token> tokens;
+  bool had_errors = false;
+};
+
+PpResult preprocess(const std::string& main_text,
+                    const std::map<std::string, std::string>& headers = {}) {
+  static SourceManager sm;
+  DiagnosticEngine diags;
+  const FileId file = sm.addBuffer("main.c", main_text);
+  Preprocessor pp(sm, diags, [headers](std::string_view name) -> std::optional<std::string> {
+    const auto it = headers.find(std::string(name));
+    if (it == headers.end()) return std::nullopt;
+    return it->second;
+  });
+  PpResult result;
+  result.tokens = pp.tokenize(file);
+  result.had_errors = diags.hasErrors();
+  return result;
+}
+
+std::string spelling(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t.kind == TokenKind::IntLiteral ? std::to_string(t.int_value) : t.text;
+  }
+  return out;
+}
+
+TEST(Preprocessor, ObjectMacroExpansion) {
+  const auto r = preprocess("#define MAX 4096\nint x = MAX;");
+  EXPECT_FALSE(r.had_errors);
+  EXPECT_EQ(spelling(r.tokens), "int x = 4096 ;");
+}
+
+TEST(Preprocessor, MacroExpandsToExpression) {
+  const auto r = preprocess("#define LIMIT (1024 * 8)\nint x = LIMIT;");
+  EXPECT_EQ(spelling(r.tokens), "int x = ( 1024 * 8 ) ;");
+}
+
+TEST(Preprocessor, NestedMacros) {
+  const auto r = preprocess("#define A B\n#define B 7\nint x = A;");
+  EXPECT_EQ(spelling(r.tokens), "int x = 7 ;");
+}
+
+TEST(Preprocessor, SelfReferentialMacroDoesNotLoop) {
+  const auto r = preprocess("#define X X\nint X;");
+  EXPECT_EQ(spelling(r.tokens), "int X ;");
+}
+
+TEST(Preprocessor, Undef) {
+  const auto r = preprocess("#define N 1\n#undef N\nint N;");
+  EXPECT_EQ(spelling(r.tokens), "int N ;");
+}
+
+TEST(Preprocessor, IfdefTrueBranch) {
+  const auto r = preprocess("#define FEATURE 1\n#ifdef FEATURE\nint yes;\n#else\nint no;\n#endif");
+  EXPECT_EQ(spelling(r.tokens), "int yes ;");
+}
+
+TEST(Preprocessor, IfndefWithElse) {
+  const auto r = preprocess("#ifndef MISSING\nint a;\n#else\nint b;\n#endif");
+  EXPECT_EQ(spelling(r.tokens), "int a ;");
+}
+
+TEST(Preprocessor, NestedConditionals) {
+  const auto r = preprocess(
+      "#define OUTER 1\n"
+      "#ifdef OUTER\n"
+      "#ifdef INNER\nint both;\n#else\nint outer_only;\n#endif\n"
+      "#endif");
+  EXPECT_EQ(spelling(r.tokens), "int outer_only ;");
+}
+
+TEST(Preprocessor, DefinesInsideInactiveBlocksAreIgnored) {
+  const auto r = preprocess("#ifdef NOPE\n#define HIDDEN 9\n#endif\nint x = HIDDEN;");
+  EXPECT_EQ(spelling(r.tokens), "int x = HIDDEN ;");
+}
+
+TEST(Preprocessor, IncludeSplicesTokens) {
+  const auto r = preprocess("#include \"defs.h\"\nint x = VALUE;",
+                            {{"defs.h", "#define VALUE 3\nint from_header;\n"}});
+  EXPECT_FALSE(r.had_errors);
+  EXPECT_EQ(spelling(r.tokens), "int from_header ; int x = 3 ;");
+}
+
+TEST(Preprocessor, IncludeIsIdempotent) {
+  const auto r = preprocess("#include \"h.h\"\n#include \"h.h\"\nint x;",
+                            {{"h.h", "int once;\n"}});
+  EXPECT_EQ(spelling(r.tokens), "int once ; int x ;");
+}
+
+TEST(Preprocessor, HeaderGuardStyleWorks) {
+  const std::string guarded = "#ifndef H_H\n#define H_H\nint guarded;\n#endif\n";
+  const auto r = preprocess("#include \"g.h\"\nint tail;", {{"g.h", guarded}});
+  EXPECT_FALSE(r.had_errors);
+  EXPECT_EQ(spelling(r.tokens), "int guarded ; int tail ;");
+}
+
+TEST(Preprocessor, MissingIncludeIsAnError) {
+  const auto r = preprocess("#include \"nowhere.h\"\nint x;");
+  EXPECT_TRUE(r.had_errors);
+  EXPECT_EQ(spelling(r.tokens), "int x ;");
+}
+
+TEST(Preprocessor, UnterminatedIfdefIsAnError) {
+  const auto r = preprocess("#ifdef X\nint x;");
+  EXPECT_TRUE(r.had_errors);
+}
+
+TEST(Preprocessor, UnbalancedEndifIsAnError) {
+  const auto r = preprocess("#endif\nint x;");
+  EXPECT_TRUE(r.had_errors);
+}
+
+TEST(Preprocessor, PredefinedMacros) {
+  static SourceManager sm;
+  DiagnosticEngine diags;
+  const FileId file = sm.addBuffer("m.c", "int x = CONFIGURED;");
+  Preprocessor pp(sm, diags, nullptr);
+  pp.defineMacro("CONFIGURED", "123");
+  const auto tokens = pp.tokenize(file);
+  EXPECT_EQ(spelling(tokens), "int x = 123 ;");
+  EXPECT_TRUE(pp.isMacroDefined("CONFIGURED"));
+}
+
+TEST(Preprocessor, PragmaIsIgnored) {
+  const auto r = preprocess("#pragma once\nint x;");
+  EXPECT_FALSE(r.had_errors);
+  EXPECT_EQ(spelling(r.tokens), "int x ;");
+}
+
+TEST(Preprocessor, HashInsideLineIsNotADirective) {
+  // '#' mid-line lexes as a Hash token but must not be treated as a
+  // directive.
+  const auto r = preprocess("int a; # define_not_really\nint b;");
+  EXPECT_EQ(spelling(r.tokens), "int a ; # define_not_really int b ;");
+}
+
+}  // namespace
+}  // namespace fsdep::lex

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "extract/scoring.h"
+
+namespace fsdep::extract {
+namespace {
+
+using model::ConstraintOp;
+using model::DepKind;
+using model::Dependency;
+
+Dependency makeDep(DepKind kind, const std::string& param, const std::string& other = "") {
+  Dependency d;
+  d.kind = kind;
+  d.op = kind == DepKind::SdValueRange ? ConstraintOp::InRange
+         : kind == DepKind::SdDataType ? ConstraintOp::HasType
+         : kind == DepKind::CcdBehavioral ? ConstraintOp::Influences
+                                          : ConstraintOp::Excludes;
+  d.param = param;
+  d.other_param = other;
+  d.id = param + "/" + other;
+  return d;
+}
+
+GroundTruthEntry makeGt(const Dependency& dep, std::set<std::string> valid,
+                        std::set<std::string> expected) {
+  GroundTruthEntry e;
+  e.dep = dep;
+  e.valid_scenarios = std::move(valid);
+  e.expected_scenarios = std::move(expected);
+  return e;
+}
+
+TEST(Scoring, TruePositivesAndLevels) {
+  const Dependency sd = makeDep(DepKind::SdValueRange, "a.p");
+  const Dependency cpd = makeDep(DepKind::CpdControl, "a.p", "a.q");
+  const Dependency ccd = makeDep(DepKind::CcdBehavioral, "b.r", "a.p");
+  const std::vector<GroundTruthEntry> gt = {
+      makeGt(sd, {"s1"}, {"s1"}),
+      makeGt(cpd, {"s1"}, {"s1"}),
+      makeGt(ccd, {"s1"}, {"s1"}),
+  };
+  const ScenarioScore score = scoreScenario("s1", {sd, cpd, ccd}, gt);
+  EXPECT_EQ(score.sd.extracted, 1);
+  EXPECT_EQ(score.cpd.extracted, 1);
+  EXPECT_EQ(score.ccd.extracted, 1);
+  EXPECT_EQ(score.totalFalsePositives(), 0);
+  EXPECT_TRUE(score.false_negative_ids.empty());
+}
+
+TEST(Scoring, ScenarioConditionalFalsePositive) {
+  const Dependency dep = makeDep(DepKind::SdValueRange, "mount.commit");
+  const std::vector<GroundTruthEntry> gt = {makeGt(dep, {"s1"}, {"s1", "s3"})};
+
+  const ScenarioScore s1 = scoreScenario("s1", {dep}, gt);
+  EXPECT_EQ(s1.sd.false_positives, 0);
+
+  const ScenarioScore s3 = scoreScenario("s3", {dep}, gt);
+  EXPECT_EQ(s3.sd.false_positives, 1);
+  ASSERT_EQ(s3.false_positive_deps.size(), 1u);
+  EXPECT_EQ(s3.false_positive_deps[0].param, "mount.commit");
+}
+
+TEST(Scoring, UnlabelledExtractionIsFalsePositive) {
+  const Dependency dep = makeDep(DepKind::CpdControl, "x.a", "x.b");
+  const ScenarioScore score = scoreScenario("s1", {dep}, {});
+  EXPECT_EQ(score.cpd.false_positives, 1);
+  ASSERT_EQ(score.unlabelled.size(), 1u);
+}
+
+TEST(Scoring, FalseNegativesReported) {
+  const Dependency dep = makeDep(DepKind::SdValueRange, "a.p");
+  const std::vector<GroundTruthEntry> gt = {makeGt(dep, {"s1"}, {"s1"})};
+  const ScenarioScore score = scoreScenario("s1", {}, gt);
+  ASSERT_EQ(score.false_negative_ids.size(), 1u);
+  EXPECT_EQ(score.false_negative_ids[0], dep.id);
+}
+
+TEST(Scoring, FalseNegativeOnlyWhenExpected) {
+  const Dependency dep = makeDep(DepKind::SdValueRange, "a.p");
+  const std::vector<GroundTruthEntry> gt = {makeGt(dep, {"s1", "s2"}, {"s1"})};
+  const ScenarioScore score = scoreScenario("s2", {}, gt);
+  EXPECT_TRUE(score.false_negative_ids.empty())
+      << "a dependency not expected in s2 is no FN there";
+}
+
+TEST(Scoring, DedupeAcrossScenariosKeepsFirst) {
+  const Dependency a = makeDep(DepKind::SdValueRange, "a.p");
+  const Dependency b = makeDep(DepKind::SdValueRange, "a.q");
+  const auto unique = dedupeAcrossScenarios({{a}, {a, b}});
+  ASSERT_EQ(unique.size(), 2u);
+  EXPECT_EQ(unique[0].param, "a.p");
+  EXPECT_EQ(unique[1].param, "a.q");
+}
+
+TEST(Scoring, UniqueScoreMarksSpuriousAnywhere) {
+  const Dependency dep = makeDep(DepKind::CpdValue, "mount.min", "mount.max");
+  // Valid in s3/s4 but extracted (and spurious) in s1 too.
+  const std::vector<GroundTruthEntry> gt = {makeGt(dep, {"s3", "s4"}, {"s1", "s3", "s4"})};
+  const std::vector<std::vector<Dependency>> per_scenario = {{dep}, {}, {dep}, {dep}};
+  const ScenarioScore unique = scoreUnique(per_scenario, {"s1", "s2", "s3", "s4"}, gt);
+  EXPECT_EQ(unique.cpd.extracted, 1);
+  EXPECT_EQ(unique.cpd.false_positives, 1);
+}
+
+TEST(Scoring, UniqueScoreCleanWhenValidEverywhereExtracted) {
+  const Dependency dep = makeDep(DepKind::CpdValue, "mount.min", "mount.max");
+  const std::vector<GroundTruthEntry> gt = {makeGt(dep, {"s3", "s4"}, {"s3", "s4"})};
+  const std::vector<std::vector<Dependency>> per_scenario = {{}, {}, {dep}, {dep}};
+  const ScenarioScore unique = scoreUnique(per_scenario, {"s1", "s2", "s3", "s4"}, gt);
+  EXPECT_EQ(unique.cpd.false_positives, 0);
+}
+
+TEST(Scoring, LevelScoreTruePositives) {
+  LevelScore level;
+  level.extracted = 32;
+  level.false_positives = 3;
+  EXPECT_EQ(level.truePositives(), 29);
+}
+
+}  // namespace
+}  // namespace fsdep::extract

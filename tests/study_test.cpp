@@ -1,0 +1,171 @@
+// The empirical-study aggregations must reproduce Tables 2, 3 and 4 of
+// the paper exactly.
+#include <gtest/gtest.h>
+
+#include "study/bug_study.h"
+#include "study/coverage.h"
+
+namespace fsdep::study {
+namespace {
+
+TEST(BugStudy, SixtySevenCases) {
+  EXPECT_EQ(bugCases().size(), 67u);
+}
+
+TEST(BugStudy, UniqueIdsAndNonEmptyContent) {
+  std::set<std::string> ids;
+  for (const BugCase& bug : bugCases()) {
+    EXPECT_TRUE(ids.insert(bug.id).second) << bug.id;
+    EXPECT_FALSE(bug.title.empty());
+    EXPECT_FALSE(bug.description.empty());
+    EXPECT_FALSE(bug.dependency_ids.empty());
+  }
+}
+
+TEST(BugStudy, EveryReferencedDependencyExists) {
+  std::set<std::string> known;
+  for (const StudyDependency& dep : studyDependencies()) known.insert(dep.id);
+  for (const BugCase& bug : bugCases()) {
+    for (const std::string& id : bug.dependency_ids) {
+      EXPECT_TRUE(known.contains(id)) << bug.id << " references unknown " << id;
+    }
+  }
+}
+
+TEST(BugStudy, Table3RowS1) {
+  const auto stats = aggregateTable3();
+  const ScenarioBugStats& s1 = stats.at(0);
+  EXPECT_EQ(s1.bugs, 13);
+  EXPECT_EQ(s1.with_sd, 13);
+  EXPECT_EQ(s1.with_cpd, 1);
+  EXPECT_EQ(s1.with_ccd, 13);
+}
+
+TEST(BugStudy, Table3RowS2) {
+  const ScenarioBugStats& s2 = aggregateTable3().at(1);
+  EXPECT_EQ(s2.bugs, 1);
+  EXPECT_EQ(s2.with_sd, 1);
+  EXPECT_EQ(s2.with_cpd, 0);
+  EXPECT_EQ(s2.with_ccd, 1);
+}
+
+TEST(BugStudy, Table3RowS3) {
+  const ScenarioBugStats& s3 = aggregateTable3().at(2);
+  EXPECT_EQ(s3.bugs, 17);
+  EXPECT_EQ(s3.with_sd, 17);
+  EXPECT_EQ(s3.with_cpd, 0);
+  EXPECT_EQ(s3.with_ccd, 17);
+}
+
+TEST(BugStudy, Table3RowS4) {
+  const ScenarioBugStats& s4 = aggregateTable3().at(3);
+  EXPECT_EQ(s4.bugs, 36);
+  EXPECT_EQ(s4.with_sd, 36);
+  EXPECT_EQ(s4.with_cpd, 4);
+  EXPECT_EQ(s4.with_ccd, 34);
+}
+
+TEST(BugStudy, Table3Totals) {
+  int bugs = 0;
+  int sd = 0;
+  int cpd = 0;
+  int ccd = 0;
+  for (const ScenarioBugStats& s : aggregateTable3()) {
+    bugs += s.bugs;
+    sd += s.with_sd;
+    cpd += s.with_cpd;
+    ccd += s.with_ccd;
+  }
+  EXPECT_EQ(bugs, 67);
+  EXPECT_EQ(sd, 67);   // 100.0%
+  EXPECT_EQ(cpd, 5);   // 7.5%
+  EXPECT_EQ(ccd, 65);  // 97.0%
+}
+
+TEST(BugStudy, Table4Taxonomy) {
+  const TaxonomyStats stats = aggregateTable4();
+  using model::DepKind;
+  EXPECT_EQ(stats.unique_counts.at(DepKind::SdDataType), 33);
+  EXPECT_EQ(stats.unique_counts.at(DepKind::SdValueRange), 30);
+  EXPECT_EQ(stats.unique_counts.at(DepKind::CpdControl), 4);
+  EXPECT_FALSE(stats.unique_counts.contains(DepKind::CpdValue));
+  EXPECT_EQ(stats.unique_counts.at(DepKind::CcdControl), 1);
+  EXPECT_FALSE(stats.unique_counts.contains(DepKind::CcdValue));
+  EXPECT_EQ(stats.unique_counts.at(DepKind::CcdBehavioral), 64);
+  EXPECT_EQ(stats.total(), 132);
+}
+
+TEST(BugStudy, FormattedTablesContainHeadlines) {
+  const std::string t3 = formatTable3();
+  EXPECT_NE(t3.find("67"), std::string::npos);
+  EXPECT_NE(t3.find("97.0%"), std::string::npos);
+  EXPECT_NE(t3.find("7.5%"), std::string::npos);
+  const std::string t4 = formatTable4();
+  EXPECT_NE(t4.find("132"), std::string::npos);
+}
+
+// --- Table 2 coverage study. ---
+
+TEST(Coverage, TokenizerStripsShellPunctuation) {
+  const auto tokens = tokenizeCaseText("mount -o dax,ro \"$DEV\" && fsck -f;");
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "-o"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "-f"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "DEV"), tokens.end());
+}
+
+TEST(Coverage, ParameterMatchTokens) {
+  model::Parameter p;
+  p.flag = "-b";
+  EXPECT_EQ(parameterMatchToken(p), "-b");
+  p.flag = "-O sparse_super2";
+  EXPECT_EQ(parameterMatchToken(p), "sparse_super2");
+  p.flag = "-o commit=";
+  EXPECT_EQ(parameterMatchToken(p), "commit=");
+}
+
+TEST(Coverage, Table2ExactCounts) {
+  const auto reports = runCoverageStudy();
+  ASSERT_EQ(reports.size(), 3u);
+
+  EXPECT_EQ(reports[0].suite, "xfstest");
+  EXPECT_GT(reports[0].total_parameters, 85u);
+  EXPECT_EQ(reports[0].usedCount(), 29u);
+
+  EXPECT_EQ(reports[1].target, "e2fsck");
+  EXPECT_GT(reports[1].total_parameters, 35u);
+  EXPECT_EQ(reports[1].usedCount(), 6u);
+
+  EXPECT_EQ(reports[2].target, "resize2fs");
+  EXPECT_GT(reports[2].total_parameters, 15u);
+  EXPECT_EQ(reports[2].usedCount(), 7u);
+}
+
+TEST(Coverage, UsedFractionsMatchPaperBands) {
+  const auto reports = runCoverageStudy();
+  EXPECT_LT(reports[0].usedFraction(), 0.35);  // paper: < 34.1%
+  EXPECT_LT(reports[1].usedFraction(), 0.18);  // paper: < 17.1%
+  EXPECT_LT(reports[2].usedFraction(), 0.47);  // paper: < 46.7%
+}
+
+TEST(Coverage, UnknownTargetYieldsEmptyReport) {
+  corpus::SuiteManifest manifest;
+  manifest.suite = "x";
+  manifest.target = "no-such-component";
+  manifest.case_texts = {"-b 4096"};
+  const CoverageReport report = scanSuite(manifest, corpus::ecosystem());
+  EXPECT_EQ(report.total_parameters, 0u);
+  EXPECT_EQ(report.usedCount(), 0u);
+}
+
+TEST(Coverage, PrefixMatchingForValueOptions) {
+  corpus::SuiteManifest manifest;
+  manifest.suite = "x";
+  manifest.target = "mount";
+  manifest.case_texts = {"mount -o commit=77"};
+  const CoverageReport report = scanSuite(manifest, corpus::ecosystem());
+  EXPECT_TRUE(report.used_parameters.contains("mount.commit"));
+  EXPECT_FALSE(report.used_parameters.contains("mount.stripe"));
+}
+
+}  // namespace
+}  // namespace fsdep::study
