@@ -1,0 +1,65 @@
+// CrashCk experiment harness: enumerates every crash point of every
+// fsim operation and prints the per-op outcome histogram, then the
+// buggy-vs-fixed A/B for the Figure 1 resize. The buggy accounting must
+// show silent-corruption points that the fixed accounting does not —
+// that asymmetry is the experiment's claim.
+#include <cstdio>
+
+#include "tools/crashck.h"
+
+using namespace fsdep;
+using namespace fsdep::tools;
+
+int main() {
+  constexpr std::uint64_t kSeed = 42;
+
+  std::puts("CrashCk: deterministic crash-point enumeration over the fsim tools");
+  std::printf("seed %llu; every write index of each op is crashed once with a\n",
+              static_cast<unsigned long long>(kSeed));
+  std::puts("seeded torn prefix, then the image is remounted and fsck'd.\n");
+
+  const Result<CrashCkReport> result = runCrashCk(CrashCkOptions{.seed = kSeed});
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 1;
+  }
+  const CrashCkReport& report = result.value();
+
+  std::printf("%-13s %6s  %s\n", "op", "writes", "outcome histogram");
+  for (const CrashOpReport& op : report.ops) {
+    std::printf("%-13s %6llu  %s\n", op.op.c_str(),
+                static_cast<unsigned long long>(op.total_writes), op.histogram().c_str());
+  }
+  std::printf("\n%s\n", report.summary().c_str());
+
+  // The A/B at the heart of the experiment.
+  const CrashOpReport* buggy = nullptr;
+  const CrashOpReport* fixed = nullptr;
+  for (const CrashOpReport& op : report.ops) {
+    if (op.op == "resize-buggy") buggy = &op;
+    if (op.op == "resize") fixed = &op;
+  }
+  if (buggy == nullptr || fixed == nullptr) {
+    std::fputs("resize ops missing from the campaign\n", stderr);
+    return 1;
+  }
+  const int buggy_silent = buggy->countOf(CrashOutcome::SilentCorruption);
+  const int fixed_silent = fixed->countOf(CrashOutcome::SilentCorruption);
+
+  std::puts("\nFigure 1 resize under crash injection (A/B):");
+  std::printf("  shipped accounting: %d silent-corruption point(s)\n", buggy_silent);
+  for (const CrashPoint& p : buggy->points) {
+    if (p.outcome == CrashOutcome::SilentCorruption) {
+      std::printf("    write %llu%s: %s\n", static_cast<unsigned long long>(p.write_index),
+                  p.control ? " (completed run)" : "", p.detail.c_str());
+    }
+  }
+  std::printf("  fixed accounting:   %d silent-corruption point(s)\n", fixed_silent);
+
+  if (buggy_silent > 0 && fixed_silent == 0) {
+    std::puts("\nRESULT: the fix eliminates every silent-corruption crash point.");
+    return 0;
+  }
+  std::puts("\nRESULT: UNEXPECTED — histogram asymmetry not reproduced.");
+  return 1;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Configure, build and run the test suite under ASan+UBSan
+# (the FSDEP_SANITIZE CMake option). Usage: scripts/check_sanitize.sh [builddir]
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-sanitize"}
+
+cmake -B "$BUILD" -S "$ROOT" -DFSDEP_SANITIZE=ON
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

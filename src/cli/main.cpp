@@ -31,6 +31,7 @@
 #include "tools/conbugck.h"
 #include "tools/condocck.h"
 #include "tools/conhandleck.h"
+#include "tools/crashck.h"
 #include "tools/depgraph.h"
 
 namespace {
@@ -56,6 +57,11 @@ int usage() {
       "  handleck   ConHandleCk: dependency-violation campaign\n"
       "  bugck      ConBugCk: dependency-aware config generation (--runs N)\n"
       "  figure1    reproduce the sparse_super2 resize corruption\n"
+      "  crashck    CrashCk: crash-point enumeration over the fsim tools\n"
+      "               --op OP    one of mkfs, mount, resize, resize-buggy,\n"
+      "                          defrag, tune (default: all)\n"
+      "               --seed S   fault-schedule seed (default 42)\n"
+      "               --json     emit JSON instead of text\n"
       "  xfs        run the analyzer over the XFS mini-ecosystem (paper SS6)\n"
       "  bugs       list the 67-case bug study dataset (--json for JSON)\n"
       "  explain    show everything known about one parameter\n"
@@ -118,6 +124,82 @@ int cmdExtract(const std::vector<std::string>& args) {
     for (const model::Dependency& dep : deps) std::printf("%s\n", dep.summary().c_str());
     std::printf("\n%zu dependencies extracted\n", deps.size());
   }
+  return 0;
+}
+
+int cmdCrashCk(const std::vector<std::string>& args) {
+  tools::CrashCkOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") continue;
+    if (args[i] == "--op" || args[i] == "--seed") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "crashck: %s requires a value\n", args[i].c_str());
+        return 2;
+      }
+      const std::string& value = args[++i];
+      if (args[i - 1] == "--op") {
+        options.ops.push_back(value);
+      } else {
+        char* end = nullptr;
+        options.seed = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          std::fprintf(stderr, "crashck: --seed expects an integer, got '%s'\n", value.c_str());
+          return 2;
+        }
+      }
+      continue;
+    }
+    std::fprintf(stderr, "crashck: unknown argument '%s'\n", args[i].c_str());
+    return 2;
+  }
+
+  const Result<tools::CrashCkReport> result = tools::runCrashCk(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 2;
+  }
+  const tools::CrashCkReport& report = result.value();
+
+  if (hasFlag(args, "--json")) {
+    json::Object root;
+    root["seed"] = static_cast<std::uint64_t>(report.seed);
+    json::Array ops;
+    for (const tools::CrashOpReport& r : report.ops) {
+      json::Object o;
+      o["op"] = r.op;
+      o["total_writes"] = static_cast<std::uint64_t>(r.total_writes);
+      json::Array points;
+      for (const tools::CrashPoint& p : r.points) {
+        json::Object pt;
+        pt["write_index"] = static_cast<std::uint64_t>(p.write_index);
+        pt["control"] = p.control;
+        pt["outcome"] = tools::crashOutcomeName(p.outcome);
+        pt["detail"] = p.detail;
+        points.push_back(std::move(pt));
+      }
+      o["points"] = std::move(points);
+      ops.push_back(std::move(o));
+    }
+    root["ops"] = std::move(ops);
+    std::fputs(json::writePretty(root).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("CrashCk: seed %llu\n\n", static_cast<unsigned long long>(report.seed));
+  for (const tools::CrashOpReport& r : report.ops) {
+    std::printf("%-13s %3llu write(s)  %s\n", r.op.c_str(),
+                static_cast<unsigned long long>(r.total_writes), r.histogram().c_str());
+    for (const tools::CrashPoint& p : r.points) {
+      if (p.outcome == tools::CrashOutcome::SilentCorruption ||
+          p.outcome == tools::CrashOutcome::DataLoss) {
+        std::printf("    write %3llu%s [%s] %s\n",
+                    static_cast<unsigned long long>(p.write_index),
+                    p.control ? " (control)" : "", tools::crashOutcomeName(p.outcome),
+                    p.detail.c_str());
+      }
+    }
+  }
+  std::printf("\n%s\n", report.summary().c_str());
   return 0;
 }
 
@@ -340,6 +422,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "figure1") return cmdFigure1();
+    if (command == "crashck") return cmdCrashCk(args);
     if (command == "xfs") {
       const extract::ExtractOptions options = corpus::xfsExtractOptions();
       const auto deps =

@@ -5,6 +5,18 @@
 
 namespace fsdep::fsim {
 
+namespace {
+
+/// splitmix64 — the deterministic mixer behind seeded torn prefixes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 BlockDevice::BlockDevice(std::uint32_t block_count, std::uint32_t block_size)
     : block_count_(block_count), block_size_(block_size) {
   if (block_size == 0 || (block_size & (block_size - 1)) != 0) {
@@ -20,41 +32,138 @@ void BlockDevice::checkRange(std::uint32_t block) const {
   }
 }
 
-void BlockDevice::readBlock(std::uint32_t block, std::span<std::uint8_t> out) const {
-  checkRange(block);
+std::size_t BlockDevice::tornPrefixLength(std::size_t write_size) const {
+  if (!plan_) return 0;
+  switch (plan_->torn_mode) {
+    case TornMode::None:
+      return 0;
+    case TornMode::Prefix:
+      return std::min<std::size_t>(plan_->torn_prefix_bytes, write_size);
+    case TornMode::Seeded:
+      return static_cast<std::size_t>(mix64(plan_->seed ^ (plan_write_index_ + 1)) %
+                                      (write_size + 1));
+  }
+  return 0;
+}
+
+void BlockDevice::attemptWrite(std::uint64_t offset, std::span<const std::uint8_t> data,
+                               std::uint32_t block) {
+  if (frozen_) throw IoError("device frozen by injected crash");
+  if (dead_) throw IoError("device failed (fail-after fault)");
+  if (plan_) {
+    if (plan_->fail_after_writes && plan_write_index_ >= *plan_->fail_after_writes) {
+      dead_ = true;
+      throw IoError("device failed after " + std::to_string(*plan_->fail_after_writes) +
+                    " writes");
+    }
+    if (plan_->crash_at_write && plan_write_index_ == *plan_->crash_at_write) {
+      // Persist only a torn prefix of this write, then lose power.
+      const std::size_t keep = tornPrefixLength(data.size());
+      if (keep > 0) std::memcpy(data_.data() + offset, data.data(), keep);
+      frozen_ = true;
+      throw IoError("crash injected at write index " +
+                    std::to_string(*plan_->crash_at_write) + " (" + std::to_string(keep) +
+                    " of " + std::to_string(data.size()) + " bytes persisted)");
+    }
+    for (TransientFault& t : plan_->transients) {
+      if (t.on_write && t.failures > 0 && t.block == block) {
+        --t.failures;
+        throw IoError("transient write error at block " + std::to_string(block));
+      }
+    }
+  }
+  if (bad_write_blocks_.contains(block)) {
+    throw IoError("injected write error at block " + std::to_string(block));
+  }
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  ++writes_;
+  ++plan_write_index_;
+}
+
+void BlockDevice::attemptRead(std::uint64_t offset, std::span<std::uint8_t> out,
+                              std::uint32_t block) const {
+  if (frozen_) throw IoError("device frozen by injected crash");
+  if (plan_) {
+    for (TransientFault& t : plan_->transients) {
+      if (!t.on_write && t.failures > 0 && t.block == block) {
+        --t.failures;
+        throw IoError("transient read error at block " + std::to_string(block));
+      }
+    }
+  }
   if (bad_read_blocks_.contains(block)) {
     throw IoError("injected read error at block " + std::to_string(block));
   }
-  if (out.size() != block_size_) throw IoError("short read buffer");
+  std::memcpy(out.data(), data_.data() + offset, out.size());
   ++reads_;
-  std::memcpy(out.data(), data_.data() + static_cast<std::size_t>(block) * block_size_,
-              block_size_);
+}
+
+void BlockDevice::readBlock(std::uint32_t block, std::span<std::uint8_t> out) const {
+  checkRange(block);
+  if (out.size() != block_size_) throw IoError("short read buffer");
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      attemptRead(static_cast<std::uint64_t>(block) * block_size_, out, block);
+      return;
+    } catch (const IoError&) {
+      if (frozen_ || attempt >= retry_policy_.max_attempts) throw;
+      ++retries_;
+      backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
+                        << (attempt - 1);
+    }
+  }
 }
 
 void BlockDevice::writeBlock(std::uint32_t block, std::span<const std::uint8_t> data) {
   checkRange(block);
-  if (bad_write_blocks_.contains(block)) {
-    throw IoError("injected write error at block " + std::to_string(block));
-  }
   if (data.size() != block_size_) throw IoError("short write buffer");
-  ++writes_;
-  std::memcpy(data_.data() + static_cast<std::size_t>(block) * block_size_, data.data(),
-              block_size_);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      attemptWrite(static_cast<std::uint64_t>(block) * block_size_, data, block);
+      return;
+    } catch (const IoError&) {
+      if (frozen_ || dead_ || attempt >= retry_policy_.max_attempts) throw;
+      ++retries_;
+      backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
+                        << (attempt - 1);
+    }
+  }
 }
 
 void BlockDevice::readBytes(std::uint64_t offset, std::span<std::uint8_t> out) const {
   if (offset + out.size() > data_.size()) throw IoError("byte read out of range");
-  ++reads_;
-  std::memcpy(out.data(), data_.data() + offset, out.size());
+  const std::uint32_t block = static_cast<std::uint32_t>(offset / block_size_);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      attemptRead(offset, out, block);
+      return;
+    } catch (const IoError&) {
+      if (frozen_ || attempt >= retry_policy_.max_attempts) throw;
+      ++retries_;
+      backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
+                        << (attempt - 1);
+    }
+  }
 }
 
 void BlockDevice::writeBytes(std::uint64_t offset, std::span<const std::uint8_t> data) {
   if (offset + data.size() > data_.size()) throw IoError("byte write out of range");
-  ++writes_;
-  std::memcpy(data_.data() + offset, data.data(), data.size());
+  const std::uint32_t block = static_cast<std::uint32_t>(offset / block_size_);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      attemptWrite(offset, data, block);
+      return;
+    } catch (const IoError&) {
+      if (frozen_ || dead_ || attempt >= retry_policy_.max_attempts) throw;
+      ++retries_;
+      backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
+                        << (attempt - 1);
+    }
+  }
 }
 
 void BlockDevice::resize(std::uint32_t new_block_count) {
+  if (frozen_) throw IoError("device frozen by injected crash");
   data_.resize(static_cast<std::size_t>(new_block_count) * block_size_, 0);
   block_count_ = new_block_count;
 }
@@ -66,9 +175,27 @@ void BlockDevice::corruptBlock(std::uint32_t block, std::uint32_t byte_offset) {
   data_[index] ^= 0xFF;
 }
 
+void BlockDevice::setFaultPlan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  plan_write_index_ = 0;
+  frozen_ = false;
+  dead_ = false;
+}
+
 void BlockDevice::clearFaults() {
   bad_read_blocks_.clear();
   bad_write_blocks_.clear();
+  plan_.reset();
+  frozen_ = false;
+  dead_ = false;
+  plan_write_index_ = 0;
+}
+
+void BlockDevice::resetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  retries_ = 0;
+  backoff_ticks_ = 0;
 }
 
 }  // namespace fsdep::fsim

@@ -1,12 +1,37 @@
 // In-memory block device with fault injection. All fsim utilities go
-// through this interface, so media errors and torn writes can be injected
-// under any of them (ConHandleCk uses this).
+// through this interface, so media errors, torn writes, transient
+// failures and crash points can be injected under any of them
+// (ConHandleCk and the CrashCk campaign use this).
+//
+// Fault model
+//   - Legacy per-block faults (injectReadError / injectWriteError) are
+//     sticky: the block fails forever until clearFaults().
+//   - A FaultPlan is a deterministic schedule installed with
+//     setFaultPlan(). Every run is replayable from the (plan, seed)
+//     pair: the same plan on the same operation sequence produces the
+//     same failure at the same write index.
+//       * crash_at_write freezes the device when the Nth successful
+//         write would happen; the crashing write persists only a torn
+//         prefix (none / fixed / seeded length). A frozen device throws
+//         on every access until clearFaults() — exactly a machine that
+//         lost power mid-write.
+//       * fail_after_writes models device death: once N writes have
+//         persisted, all later writes fail permanently.
+//       * transients model recoverable media errors: an access to the
+//         faulted block fails `failures` times, then succeeds.
+//   - A RetryPolicy gives the device bounded retry-with-backoff at the
+//     block layer (the way a kernel retries transient media errors).
+//     Backoff is simulated deterministically: ticks accumulate in a
+//     counter instead of sleeping. Crash-frozen and dead devices are
+//     never retried.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace fsdep::fsim {
@@ -14,6 +39,39 @@ namespace fsdep::fsim {
 class IoError : public std::runtime_error {
  public:
   explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A recoverable media error pinned to one block: the first `failures`
+/// accesses fail, later ones succeed (cleared in place).
+struct TransientFault {
+  std::uint32_t block = 0;
+  std::uint32_t failures = 1;
+  bool on_write = true;  ///< false: reads of the block fail instead
+};
+
+/// How much of the crashing write reaches the medium.
+enum class TornMode : std::uint8_t {
+  None,    ///< nothing persists
+  Prefix,  ///< the first torn_prefix_bytes persist
+  Seeded,  ///< prefix length derived deterministically from the seed
+};
+
+/// Deterministic fault schedule. Write indices are plan-relative and
+/// count only *persisted* writes, so an operation's crash points are
+/// exactly 0 .. writeCount-1 of a fault-free run.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::optional<std::uint64_t> crash_at_write;
+  TornMode torn_mode = TornMode::None;
+  std::uint32_t torn_prefix_bytes = 0;
+  std::optional<std::uint64_t> fail_after_writes;
+  std::vector<TransientFault> transients;
+};
+
+/// Bounded retry with (simulated) exponential backoff.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  ///< 1 = no retry
+  std::uint32_t backoff_base = 1;  ///< ticks; doubled on every retry
 };
 
 class BlockDevice {
@@ -44,22 +102,58 @@ class BlockDevice {
   void injectWriteError(std::uint32_t block) { bad_write_blocks_.insert(block); }
   /// Flips one byte in `block` (silent corruption).
   void corruptBlock(std::uint32_t block, std::uint32_t byte_offset);
+
+  /// Installs a deterministic fault schedule; replaces any previous one
+  /// and restarts the plan-relative write index at zero.
+  void setFaultPlan(FaultPlan plan);
+  [[nodiscard]] bool hasFaultPlan() const { return plan_.has_value(); }
+  /// True once a crash fault fired; every access throws until
+  /// clearFaults().
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  /// Removes all faults: legacy bad blocks, the fault plan, and the
+  /// frozen/dead latches. Statistics are NOT touched (see resetStats).
   void clearFaults();
+
+  void setRetryPolicy(RetryPolicy policy) { retry_policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retryPolicy() const { return retry_policy_; }
 
   // --- Statistics ---------------------------------------------------
   [[nodiscard]] std::uint64_t readCount() const { return reads_; }
   [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
+  /// Failed attempts that were retried by the retry policy.
+  [[nodiscard]] std::uint64_t retryCount() const { return retries_; }
+  /// Simulated backoff accumulated across all retries.
+  [[nodiscard]] std::uint64_t backoffTicks() const { return backoff_ticks_; }
+  /// Persisted writes since the current fault plan was installed.
+  [[nodiscard]] std::uint64_t planWriteIndex() const { return plan_write_index_; }
+  /// Zeroes the read/write/retry/backoff counters so callers can observe
+  /// a single operation. Fault state is unaffected.
+  void resetStats();
 
  private:
   void checkRange(std::uint32_t block) const;
+  /// One write attempt with all fault checks; throws on any fault.
+  void attemptWrite(std::uint64_t offset, std::span<const std::uint8_t> data,
+                    std::uint32_t block);
+  void attemptRead(std::uint64_t offset, std::span<std::uint8_t> out,
+                   std::uint32_t block) const;
+  /// Bytes of the crashing write that persist under the torn mode.
+  [[nodiscard]] std::size_t tornPrefixLength(std::size_t write_size) const;
 
   std::uint32_t block_count_;
   std::uint32_t block_size_;
   std::vector<std::uint8_t> data_;
   std::set<std::uint32_t> bad_read_blocks_;
   std::set<std::uint32_t> bad_write_blocks_;
+  mutable std::optional<FaultPlan> plan_;  // transients decay in place
+  RetryPolicy retry_policy_;
+  bool frozen_ = false;
+  bool dead_ = false;
+  std::uint64_t plan_write_index_ = 0;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  mutable std::uint64_t retries_ = 0;
+  mutable std::uint64_t backoff_ticks_ = 0;
 };
 
 }  // namespace fsdep::fsim

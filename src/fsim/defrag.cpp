@@ -28,6 +28,14 @@ Result<DefragReport> DefragTool::run(MountedFs& fs, BlockDevice& device,
   }
   coverPoint("defrag.start");
 
+  try {
+    return runImpl(device, options);
+  } catch (const IoError& e) {
+    return makeError(std::string("e4defrag: I/O error: ") + e.what());
+  }
+}
+
+Result<DefragReport> DefragTool::runImpl(BlockDevice& device, const DefragOptions& options) {
   FsImage image(device);
   Superblock sb = image.loadSuperblock();
   DefragReport report;

@@ -35,9 +35,13 @@ struct DefragReport {
 
 class DefragTool {
  public:
-  /// Defragments every in-use file of the mounted filesystem.
+  /// Defragments every in-use file of the mounted filesystem. I/O
+  /// faults surface as structured errors, never as exceptions.
   static Result<DefragReport> run(MountedFs& fs, BlockDevice& device,
                                   const DefragOptions& options = {});
+
+ private:
+  static Result<DefragReport> runImpl(BlockDevice& device, const DefragOptions& options);
 };
 
 }  // namespace fsdep::fsim

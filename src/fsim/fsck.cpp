@@ -21,6 +21,14 @@ std::string FsckReport::summary() const {
 }
 
 Result<FsckReport> FsckTool::check(BlockDevice& device, const FsckOptions& options) {
+  try {
+    return checkImpl(device, options);
+  } catch (const IoError& e) {
+    return makeError(std::string("fsck: I/O error: ") + e.what());
+  }
+}
+
+Result<FsckReport> FsckTool::checkImpl(BlockDevice& device, const FsckOptions& options) {
   FsImage image(device);
   Superblock sb =
       options.backup_group == 0 ? image.loadSuperblock()
@@ -50,6 +58,11 @@ Result<FsckReport> FsckTool::check(BlockDevice& device, const FsckOptions& optio
   }
   if (sb.checksum != sb.computeChecksum()) {
     note(ProblemSeverity::Inconsistency, "superblock checksum mismatch");
+  }
+  if ((sb.state & kStateValid) == 0) {
+    note(ProblemSeverity::Inconsistency,
+         "filesystem was not cleanly shut down (crash or in-progress operation)");
+    coverPoint("fsck.unclean_state");
   }
   if (sb.journal_blocks != 0 && sb.journal_dirty != 0) {
     note(ProblemSeverity::Inconsistency, "journal needs recovery (unclean shutdown)");

@@ -39,7 +39,12 @@ struct FsckReport {
 
 class FsckTool {
  public:
+  /// Checks (and optionally repairs) the filesystem. I/O faults surface
+  /// as structured errors, never as exceptions.
   static Result<FsckReport> check(BlockDevice& device, const FsckOptions& options = {});
+
+ private:
+  static Result<FsckReport> checkImpl(BlockDevice& device, const FsckOptions& options);
 };
 
 }  // namespace fsdep::fsim

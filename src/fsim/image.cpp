@@ -50,7 +50,10 @@ void FsImage::storeSuperblock(const Superblock& sb) {
 }
 
 void FsImage::storeSuperblockWithBackups(const Superblock& sb) {
-  storeSuperblock(sb);
+  // Backups first, primary last: the primary superblock write is the
+  // commit point, so a crash during the backup writes leaves the old
+  // (or in-progress) primary in charge instead of a clean-looking
+  // primary with stale backups.
   std::uint8_t buf[Superblock::kDiskSize];
   sb.serialize(buf);
   for (const std::uint32_t group : backupGroups(sb)) {
@@ -58,6 +61,7 @@ void FsImage::storeSuperblockWithBackups(const Superblock& sb) {
         static_cast<std::uint64_t>(groupFirstBlock(sb, group)) * sb.blockSize();
     device_.writeBytes(offset, buf);
   }
+  storeSuperblock(sb);
 }
 
 Superblock FsImage::loadBackupSuperblock(std::uint32_t group) const {

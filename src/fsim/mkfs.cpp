@@ -89,6 +89,14 @@ std::vector<std::string> MkfsTool::validate(const MkfsOptions& o, std::uint64_t 
 }
 
 Result<Superblock> MkfsTool::format(BlockDevice& device, const MkfsOptions& o) {
+  try {
+    return formatImpl(device, o);
+  } catch (const IoError& e) {
+    return makeError(std::string("mkfs: I/O error: ") + e.what());
+  }
+}
+
+Result<Superblock> MkfsTool::formatImpl(BlockDevice& device, const MkfsOptions& o) {
   const std::vector<std::string> violations = validate(o, device.sizeBytes());
   if (!violations.empty()) {
     std::string message = "mkfs: invalid configuration:";

@@ -49,8 +49,14 @@ class MkfsTool {
                                            std::uint64_t device_bytes);
 
   /// Formats the device. Returns the written superblock or an error when
-  /// validation fails / the device is too small.
+  /// validation fails / the device is too small. I/O faults surface as
+  /// structured errors, never as exceptions. The valid superblock is
+  /// written last, so an interrupted mkfs leaves a device that no tool
+  /// mistakes for a healthy filesystem.
   static Result<Superblock> format(BlockDevice& device, const MkfsOptions& options);
+
+ private:
+  static Result<Superblock> formatImpl(BlockDevice& device, const MkfsOptions& options);
 };
 
 }  // namespace fsdep::fsim

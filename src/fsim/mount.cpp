@@ -71,6 +71,16 @@ std::vector<std::string> MountTool::validateOptions(const MountOptions& o, const
 }
 
 Result<MountedFs> MountTool::mount(BlockDevice& device, const MountOptions& options) {
+  try {
+    return mountImpl(device, options);
+  } catch (const IoError& e) {
+    // Faulted device mid-mount (including journal replay): surface a
+    // structured error instead of unwinding into the caller.
+    return makeError(std::string("mount: I/O error: ") + e.what());
+  }
+}
+
+Result<MountedFs> MountTool::mountImpl(BlockDevice& device, const MountOptions& options) {
   FsImage image(device);
   Superblock sb = image.loadSuperblock();
 
@@ -146,7 +156,12 @@ Result<std::uint32_t> MountedFs::createFile(std::uint32_t size_bytes,
                                             std::uint32_t max_extent_blocks) {
   if (!mounted_) return makeError("filesystem is not mounted");
   if (options_.read_only) return makeError("read-only mount");
-  const std::uint32_t ino = image_.allocateInode(sb_);
+  std::uint32_t ino = 0;
+  try {
+    ino = image_.allocateInode(sb_);
+  } catch (const IoError& e) {
+    return makeError(e.what());
+  }
   if (ino == 0) return makeError("out of inodes");
 
   const std::uint32_t bs = sb_.blockSize();
@@ -168,12 +183,19 @@ Result<std::uint32_t> MountedFs::createFile(std::uint32_t size_bytes,
       }
       blocks -= chunk;
     }
+    image_.storeInode(sb_, ino, inode);
   } catch (const IoError& e) {
-    image_.freeExtents(sb_, inode.extents);
-    image_.freeInode(sb_, ino);
+    // Best-effort rollback; a device frozen by a crash fault rejects
+    // even the cleanup writes, and that must not unwind either — the
+    // journal replay at the next mount owns the mess.
+    try {
+      image_.freeExtents(sb_, inode.extents);
+      image_.freeInode(sb_, ino);
+    } catch (const IoError&) {
+      coverPoint("file.create_rollback_failed");
+    }
     return makeError(e.what());
   }
-  image_.storeInode(sb_, ino, inode);
   coverPoint("file.create");
   if (inode.extents.size() > 1) coverPoint("file.fragmented");
   return ino;
@@ -182,34 +204,70 @@ Result<std::uint32_t> MountedFs::createFile(std::uint32_t size_bytes,
 Result<bool> MountedFs::removeFile(std::uint32_t ino) {
   if (!mounted_) return makeError("filesystem is not mounted");
   if (options_.read_only) return makeError("read-only mount");
-  Inode inode = image_.loadInode(sb_, ino);
-  if (inode.links == 0) return makeError("inode not in use");
-  image_.freeExtents(sb_, inode.extents);
-  inode = Inode{};
-  image_.storeInode(sb_, ino, inode);
-  image_.freeInode(sb_, ino);
+  try {
+    Inode inode = image_.loadInode(sb_, ino);
+    if (inode.links == 0) return makeError("inode not in use");
+    image_.freeExtents(sb_, inode.extents);
+    inode = Inode{};
+    image_.storeInode(sb_, ino, inode);
+    image_.freeInode(sb_, ino);
+  } catch (const IoError& e) {
+    return makeError(e.what());
+  }
   coverPoint("file.remove");
   return true;
 }
 
 std::optional<Inode> MountedFs::statFile(std::uint32_t ino) const {
   if (ino == 0 || ino > sb_.inodes_count) return std::nullopt;
-  Inode inode = image_.loadInode(sb_, ino);
-  if (inode.links == 0) return std::nullopt;
-  return inode;
+  try {
+    Inode inode = image_.loadInode(sb_, ino);
+    if (inode.links == 0) return std::nullopt;
+    return inode;
+  } catch (const IoError&) {
+    return std::nullopt;
+  }
 }
 
 void MountedFs::unmount() {
   if (!mounted_) return;
   mounted_ = false;
   if (!options_.read_only) {
-    sb_ = image_.loadSuperblock();
-    sb_.state = kStateValid;
-    sb_.journal_dirty = 0;
-    sb_.updateChecksum();
-    image_.storeSuperblockWithBackups(sb_);
+    try {
+      sb_ = image_.loadSuperblock();
+      sb_.state = kStateValid;
+      sb_.journal_dirty = 0;
+      sb_.updateChecksum();
+      image_.storeSuperblockWithBackups(sb_);
+    } catch (const IoError&) {
+      // Device died under us: the clean-unmount write never lands, so
+      // the journal stays dirty and the next mount replays. Exactly the
+      // semantics of yanking a disk during umount.
+      coverPoint("umount.io_error");
+      return;
+    }
   }
   coverPoint("umount.ok");
+}
+
+void MountedFs::crash() {
+  if (!mounted_) return;
+  mounted_ = false;
+  if (options_.read_only) return;
+  try {
+    Superblock sb = image_.loadSuperblock();
+    if (sb.journal_blocks != 0 && sb.journal_dirty == 0) {
+      // In-flight transactions were pending: the dirty bit must survive
+      // on the medium, whatever intermediate writes said.
+      sb.journal_dirty = 1;
+      sb.updateChecksum();
+      image_.storeSuperblock(sb);
+    }
+  } catch (const IoError&) {
+    // A device frozen by the crash itself cannot be written; the bit
+    // set at mount time (if any) is whatever made it to the medium.
+  }
+  coverPoint("mount.crash");
 }
 
 }  // namespace fsdep::fsim

@@ -53,10 +53,13 @@ class MountedFs {
   /// quiescent journal.
   void unmount();
 
-  /// Simulates a crash: the handle dies WITHOUT the clean unmount write,
-  /// leaving the journal dirty on a journalled filesystem. The next mount
-  /// replays; fsck flags the recovery requirement.
-  void crash() { mounted_ = false; }
+  /// Simulates a crash: the handle dies WITHOUT the clean unmount write.
+  /// The on-device journal dirty bit is (re)asserted — not just the
+  /// in-memory mounted_ flag — so the next mount genuinely replays and
+  /// fsck flags the recovery requirement even if an intermediate write
+  /// cleared the bit. Best-effort: a device that died mid-crash is left
+  /// as-is.
+  void crash();
 
  private:
   BlockDevice& device_;
@@ -74,8 +77,12 @@ class MountTool {
   /// Superblock validation independent of options.
   static std::vector<std::string> validateSuperblock(const Superblock& sb);
 
-  /// Mounts the filesystem on `device`.
+  /// Mounts the filesystem on `device`. I/O faults come back as
+  /// structured errors, never as escaping exceptions.
   static Result<MountedFs> mount(BlockDevice& device, const MountOptions& options);
+
+ private:
+  static Result<MountedFs> mountImpl(BlockDevice& device, const MountOptions& options);
 };
 
 }  // namespace fsdep::fsim

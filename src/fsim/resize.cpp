@@ -68,6 +68,17 @@ std::vector<std::string> ResizeTool::validate(const Superblock& sb, const Resize
 }
 
 Result<ResizeReport> ResizeTool::resize(BlockDevice& device, const ResizeOptions& o) {
+  try {
+    return resizeImpl(device, o);
+  } catch (const IoError& e) {
+    // A fault mid-resize (crash, device death, exhausted retries) must
+    // never unwind into the caller: the campaign driving us needs a
+    // structured outcome to classify.
+    return makeError(std::string("resize2fs: I/O error: ") + e.what());
+  }
+}
+
+Result<ResizeReport> ResizeTool::resizeImpl(BlockDevice& device, const ResizeOptions& o) {
   FsImage image(device);
   Superblock sb = image.loadSuperblock();
 
@@ -131,6 +142,19 @@ Result<ResizeReport> ResizeTool::resize(BlockDevice& device, const ResizeOptions
     const bool buggy = sparse2 && !o.fix_sparse_super2_accounting;
     if (sparse2) coverPoint("resize.sparse_super2_path");
 
+    // Crash guard (fixed behaviour only): clear the valid bit before the
+    // first metadata mutation so an interrupted resize is detectable.
+    // The buggy release mutated metadata under a clean-looking
+    // superblock — a crash there is silent corruption.
+    const bool guarded = o.fix_sparse_super2_accounting;
+    if (guarded) {
+      Superblock marked = sb;
+      marked.state = static_cast<std::uint16_t>(marked.state & ~kStateValid);
+      marked.updateChecksum();
+      image.storeSuperblock(marked);
+      coverPoint("resize.crash_guard");
+    }
+
     // Credit the blocks the (previously short) last group gains.
     const std::uint32_t new_last_blocks_in_old_group = new_sb.blocksInGroup(old_last);
     const std::uint32_t gained =
@@ -170,6 +194,7 @@ Result<ResizeReport> ResizeTool::resize(BlockDevice& device, const ResizeOptions
       return makeError(std::string("resize2fs: ") + e.what());
     }
 
+    if (guarded) new_sb.state = static_cast<std::uint16_t>(new_sb.state | kStateValid);
     new_sb.updateChecksum();
     if (buggy) {
       // The buggy release also forgot to refresh the backup copies.
@@ -199,6 +224,16 @@ Result<ResizeReport> ResizeTool::resize(BlockDevice& device, const ResizeOptions
       return makeError("resize2fs: blocks in use beyond the new size (group " +
                        std::to_string(group) + ")");
     }
+  }
+
+  // Same crash guard as the grow path (fixed behaviour only).
+  const bool guarded = o.fix_sparse_super2_accounting;
+  if (guarded) {
+    Superblock marked = sb;
+    marked.state = static_cast<std::uint16_t>(marked.state & ~kStateValid);
+    marked.updateChecksum();
+    image.storeSuperblock(marked);
+    coverPoint("resize.crash_guard");
   }
 
   std::uint32_t removed_free = 0;
@@ -237,6 +272,7 @@ Result<ResizeReport> ResizeTool::resize(BlockDevice& device, const ResizeOptions
     new_sb.backup_bgs[1] = new_sb.groupCount() > 2 ? new_sb.groupCount() - 1 : 0;
     if (new_sb.backup_bgs[0] >= new_sb.groupCount()) new_sb.backup_bgs[0] = 0;
   }
+  if (guarded) new_sb.state = static_cast<std::uint16_t>(new_sb.state | kStateValid);
   new_sb.updateChecksum();
   image.storeSuperblockWithBackups(new_sb);
   report.new_blocks = new_sb.blocks_count;

@@ -25,7 +25,9 @@ struct ResizeOptions {
   std::uint32_t new_size_blocks = 0;
   bool force = false;
   bool online = false;  ///< resize while mounted (needs resize_inode)
-  /// Historical-bug switch (see file comment).
+  /// Historical-bug switch (see file comment). The fixed tool also
+  /// brackets the operation with an in-progress superblock state (the
+  /// crash guard below), which the buggy release did not.
   bool fix_sparse_super2_accounting = false;
 };
 
@@ -42,7 +44,20 @@ class ResizeTool {
   static std::vector<std::string> validate(const Superblock& sb, const ResizeOptions& options);
 
   /// Performs the resize. The device itself is grown when needed.
+  /// I/O faults surface as structured errors, never as exceptions.
+  ///
+  /// Crash safety: with fix_sparse_super2_accounting the tool first
+  /// clears the superblock valid bit (an "operation in progress" mark),
+  /// mutates the metadata, and only then writes the final clean
+  /// superblock — so a crash at any intermediate write leaves a
+  /// filesystem that *admits* it needs repair. The buggy release wrote
+  /// metadata under a superblock that still claimed to be clean, which
+  /// is what turns a mid-resize crash into silent corruption (CrashCk
+  /// reproduces both behaviours).
   static Result<ResizeReport> resize(BlockDevice& device, const ResizeOptions& options);
+
+ private:
+  static Result<ResizeReport> resizeImpl(BlockDevice& device, const ResizeOptions& options);
 };
 
 }  // namespace fsdep::fsim

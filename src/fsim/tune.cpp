@@ -39,6 +39,14 @@ std::vector<std::string> TuneTool::validate(const Superblock& sb, const TuneOpti
 }
 
 Result<TuneReport> TuneTool::tune(BlockDevice& device, const TuneOptions& o) {
+  try {
+    return tuneImpl(device, o);
+  } catch (const IoError& e) {
+    return makeError(std::string("tune2fs: I/O error: ") + e.what());
+  }
+}
+
+Result<TuneReport> TuneTool::tuneImpl(BlockDevice& device, const TuneOptions& o) {
   FsImage image(device);
   Superblock sb = image.loadSuperblock();
   if (sb.magic != kExt4Magic) return makeError("tune2fs: not an fsim/ext4 filesystem");
@@ -53,6 +61,18 @@ Result<TuneReport> TuneTool::tune(BlockDevice& device, const TuneOptions& o) {
   }
 
   coverPoint("tune.start");
+
+  // Crash guard: clear the valid bit before mutating anything so an
+  // interrupted tune is detectable (same discipline as resize). The
+  // final superblock write restores it — that write is the commit point.
+  {
+    Superblock marked = sb;
+    marked.state = static_cast<std::uint16_t>(marked.state & ~kStateValid);
+    marked.updateChecksum();
+    image.storeSuperblock(marked);
+    coverPoint("tune.crash_guard");
+  }
+
   TuneReport report;
 
   if (o.has_journal.has_value()) {

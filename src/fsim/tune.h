@@ -40,7 +40,11 @@ class TuneTool {
   static std::vector<std::string> validate(const Superblock& sb, const TuneOptions& options);
 
   /// Applies the change. Refuses on validation failure or a dirty fs.
+  /// I/O faults surface as structured errors, never as exceptions.
   static Result<TuneReport> tune(BlockDevice& device, const TuneOptions& options);
+
+ private:
+  static Result<TuneReport> tuneImpl(BlockDevice& device, const TuneOptions& options);
 };
 
 }  // namespace fsdep::fsim

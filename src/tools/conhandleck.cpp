@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "corpus/pipeline.h"
+#include "tools/crashck.h"
 #include "fsim/fsck.h"
 #include "fsim/mkfs.h"
 #include "fsim/mount.h"
@@ -447,6 +448,54 @@ HandleCase tuneProbe(const std::string& id, const std::string& description,
 }
 
 }  // namespace
+
+HandleCheckReport runHandleCheckUnderFaults(std::uint64_t seed) {
+  struct FaultCase {
+    const char* id;
+    const char* op;
+    const char* description;
+  };
+  // Each case names the dependency scenario whose write sequence the
+  // fault schedules enumerate. "resize-buggy" replays the Figure 1
+  // behaviour; "resize" the fixed accounting.
+  static constexpr FaultCase kCases[] = {
+      {"fault-mkfs", "mkfs", "crash mkfs at every write index"},
+      {"fault-mount-commit", "mount", "crash a mount/write/umount journal cycle"},
+      {"fault-resize-sparse2-buggy", "resize-buggy",
+       "crash the Figure 1 sparse_super2 grow (shipped accounting)"},
+      {"fault-resize-sparse2-fixed", "resize",
+       "crash the sparse_super2 grow with fixed accounting"},
+      {"fault-defrag", "defrag", "crash e4defrag mid-rewrite"},
+      {"fault-tune", "tune", "crash tune2fs mid-change"},
+  };
+
+  HandleCheckReport report;
+  for (const FaultCase& fc : kCases) {
+    HandleCase hc;
+    hc.dependency_id = fc.id;
+    hc.description = fc.description;
+    const Result<CrashOpReport> run = runCrashOp(fc.op, seed);
+    if (!run.ok()) {
+      hc.outcome = HandleOutcome::NotApplicable;
+      hc.detail = run.error().message;
+      report.cases.push_back(std::move(hc));
+      continue;
+    }
+    const CrashOpReport& r = run.value();
+    const int silent = r.countOf(CrashOutcome::SilentCorruption);
+    const int lost = r.countOf(CrashOutcome::DataLoss);
+    hc.detail = std::to_string(r.points.size()) + " crash point(s): " + r.histogram();
+    if (silent > 0 || lost > 0) {
+      // A crash that yields a clean-looking-but-wrong image (or eats
+      // committed data) is the dangerous class the campaign hunts.
+      hc.outcome = HandleOutcome::Corruption;
+    } else {
+      hc.outcome = HandleOutcome::BehavedConsistently;
+    }
+    report.cases.push_back(std::move(hc));
+  }
+  return report;
+}
 
 HandleCheckReport runTuneProbes() {
   HandleCheckReport report;

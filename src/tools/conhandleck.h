@@ -52,4 +52,14 @@ HandleCheckReport runCorpusHandleCheck();
 /// time validation cannot help here; the offline tool must re-check.
 HandleCheckReport runTuneProbes();
 
+/// Fault mode: replays the behavioural dependency cases under the
+/// CrashCk fault schedules (crash at every write index, seeded torn
+/// writes) and folds the crash-point histogram into the same outcome
+/// taxonomy. A case is Corruption when any crash point — or the
+/// completed run itself — leaves an image that claims to be clean while
+/// fsck disagrees (the Figure 1 resize does exactly that); it is
+/// BehavedConsistently when every point recovers or at worst flags
+/// itself for repair. Deterministic in the seed.
+HandleCheckReport runHandleCheckUnderFaults(std::uint64_t seed = 42);
+
 }  // namespace fsdep::tools

@@ -1,0 +1,289 @@
+#include "tools/crashck.h"
+
+#include <functional>
+
+#include "fsim/defrag.h"
+#include "fsim/fsck.h"
+#include "fsim/image.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/resize.h"
+#include "fsim/tune.h"
+
+namespace fsdep::tools {
+
+using namespace fsim;
+
+const char* crashOutcomeName(CrashOutcome outcome) {
+  switch (outcome) {
+    case CrashOutcome::Recovered: return "recovered";
+    case CrashOutcome::NeedsRepair: return "needs-repair";
+    case CrashOutcome::SilentCorruption: return "SILENT-CORRUPTION";
+    case CrashOutcome::DataLoss: return "DATA-LOSS";
+  }
+  return "?";
+}
+
+int CrashOpReport::countOf(CrashOutcome outcome) const {
+  int n = 0;
+  for (const CrashPoint& p : points) n += p.outcome == outcome ? 1 : 0;
+  return n;
+}
+
+std::string CrashOpReport::histogram() const {
+  return "recovered=" + std::to_string(countOf(CrashOutcome::Recovered)) +
+         " needs-repair=" + std::to_string(countOf(CrashOutcome::NeedsRepair)) +
+         " silent-corruption=" + std::to_string(countOf(CrashOutcome::SilentCorruption)) +
+         " data-loss=" + std::to_string(countOf(CrashOutcome::DataLoss));
+}
+
+int CrashCkReport::totalOf(CrashOutcome outcome) const {
+  int n = 0;
+  for (const CrashOpReport& op : ops) n += op.countOf(outcome);
+  return n;
+}
+
+std::string CrashCkReport::summary() const {
+  std::size_t points = 0;
+  for (const CrashOpReport& op : ops) points += op.points.size();
+  return std::to_string(ops.size()) + " op(s), " + std::to_string(points) +
+         " crash point(s): recovered=" + std::to_string(totalOf(CrashOutcome::Recovered)) +
+         " needs-repair=" + std::to_string(totalOf(CrashOutcome::NeedsRepair)) +
+         " silent-corruption=" + std::to_string(totalOf(CrashOutcome::SilentCorruption)) +
+         " data-loss=" + std::to_string(totalOf(CrashOutcome::DataLoss));
+}
+
+namespace {
+
+// Same geometry as ConHandleCk's baseline image: the campaigns must
+// agree about what filesystem they are torturing.
+constexpr std::uint32_t kDeviceBlocks = 8192;
+constexpr std::uint32_t kBlockSize = 1024;
+constexpr std::uint32_t kResizeTarget = 3072;
+constexpr std::uint32_t kCanaryBytes = 6144;
+
+MkfsOptions baseMkfs(bool sparse2) {
+  MkfsOptions o;
+  o.block_size = kBlockSize;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  if (sparse2) {
+    o.sparse_super2 = true;
+    o.resize_inode = false;
+  }
+  return o;
+}
+
+/// Plants the canary file: mounted, deliberately fragmented (so defrag
+/// has work), cleanly unmounted.
+CrashCanary plantCanary(BlockDevice& device) {
+  CrashCanary canary;
+  Result<MountedFs> mounted = MountTool::mount(device, MountOptions{});
+  if (!mounted.ok()) return canary;
+  const Result<std::uint32_t> ino = mounted.value().createFile(kCanaryBytes, 2);
+  if (ino.ok()) {
+    canary.ino = ino.value();
+    canary.size_bytes = kCanaryBytes;
+  }
+  mounted.value().unmount();
+  return canary;
+}
+
+void runResize(BlockDevice& device, bool fix) {
+  ResizeOptions ro;
+  ro.new_size_blocks = kResizeTarget;
+  ro.fix_sparse_super2_accounting = fix;
+  (void)ResizeTool::resize(device, ro);
+}
+
+struct OpSpec {
+  const char* name;
+  /// Fault-free preparation; returns the canary (if any).
+  std::function<CrashCanary(BlockDevice&)> setup;
+  /// The operation whose writes are enumerated. Structured errors are
+  /// expected (and ignored) once the crash trigger fires.
+  std::function<void(BlockDevice&)> run;
+};
+
+const std::vector<OpSpec>& opSpecs() {
+  static const std::vector<OpSpec> specs = {
+      {"mkfs",
+       [](BlockDevice&) { return CrashCanary{}; },
+       [](BlockDevice& d) { (void)MkfsTool::format(d, baseMkfs(false)); }},
+      {"mount",
+       [](BlockDevice& d) {
+         (void)MkfsTool::format(d, baseMkfs(false));
+         return plantCanary(d);
+       },
+       [](BlockDevice& d) {
+         // One full journal-commit cycle: mount dirties the journal,
+         // the file write mutates metadata, unmount commits.
+         Result<MountedFs> mounted = MountTool::mount(d, MountOptions{});
+         if (!mounted.ok()) return;
+         (void)mounted.value().createFile(4096, 0);
+         mounted.value().unmount();
+       }},
+      {"resize",
+       [](BlockDevice& d) {
+         (void)MkfsTool::format(d, baseMkfs(true));
+         return plantCanary(d);
+       },
+       [](BlockDevice& d) { runResize(d, /*fix=*/true); }},
+      {"resize-buggy",
+       [](BlockDevice& d) {
+         (void)MkfsTool::format(d, baseMkfs(true));
+         return plantCanary(d);
+       },
+       [](BlockDevice& d) { runResize(d, /*fix=*/false); }},
+      {"defrag",
+       [](BlockDevice& d) {
+         (void)MkfsTool::format(d, baseMkfs(false));
+         return plantCanary(d);
+       },
+       [](BlockDevice& d) {
+         Result<MountedFs> mounted = MountTool::mount(d, MountOptions{});
+         if (!mounted.ok()) return;
+         (void)DefragTool::run(mounted.value(), d, DefragOptions{});
+         mounted.value().unmount();
+       }},
+      {"tune",
+       [](BlockDevice& d) {
+         (void)MkfsTool::format(d, baseMkfs(false));
+         return plantCanary(d);
+       },
+       [](BlockDevice& d) {
+         TuneOptions t;
+         t.label = "crashck";
+         t.max_mount_count = 64;
+         t.reserved_blocks_count = 64;
+         (void)TuneTool::tune(d, t);
+       }},
+  };
+  return specs;
+}
+
+}  // namespace
+
+std::vector<std::string> crashCkOpNames() {
+  std::vector<std::string> names;
+  for (const OpSpec& s : opSpecs()) names.emplace_back(s.name);
+  return names;
+}
+
+CrashOutcome classifyPostCrashImage(BlockDevice& device, const CrashCanary& canary,
+                                    std::string& detail) {
+  FsImage image(device);
+  Superblock sb;
+  try {
+    sb = image.loadSuperblock();
+  } catch (const IoError& e) {
+    detail = std::string("superblock unreadable: ") + e.what();
+    return CrashOutcome::NeedsRepair;
+  }
+  if (sb.magic != kExt4Magic) {
+    detail = "no valid filesystem on the device (interrupted mkfs)";
+    return CrashOutcome::NeedsRepair;
+  }
+
+  // The image's own claim of health — recorded before any recovery runs,
+  // because recovery is allowed to fix things, not to excuse lies.
+  const bool claims_clean = sb.checksum == sb.computeChecksum() &&
+                            (sb.state & kStateValid) != 0 && sb.journal_dirty == 0;
+
+  // Reboot: mount (replaying a dirty journal) and cleanly unmount.
+  {
+    Result<MountedFs> mounted = MountTool::mount(device, MountOptions{});
+    if (mounted.ok()) mounted.value().unmount();
+  }
+
+  const Result<FsckReport> fsck = FsckTool::check(device, FsckOptions{.force = true});
+  if (!fsck.ok()) {
+    detail = fsck.error().message;
+    return CrashOutcome::NeedsRepair;
+  }
+  if (!fsck.value().isClean()) {
+    detail = fsck.value().summary();
+    return claims_clean ? CrashOutcome::SilentCorruption : CrashOutcome::NeedsRepair;
+  }
+
+  if (canary.ino != 0) {
+    try {
+      const Superblock now = image.loadSuperblock();
+      const Inode inode = image.loadInode(now, canary.ino);
+      if (inode.links == 0 || inode.size_bytes != canary.size_bytes) {
+        detail = "metadata consistent but the canary file is gone";
+        return CrashOutcome::DataLoss;
+      }
+    } catch (const IoError&) {
+      detail = "canary inode unreadable";
+      return CrashOutcome::DataLoss;
+    }
+  }
+  detail = claims_clean ? "clean" : "recovered (journal replay / remount)";
+  return CrashOutcome::Recovered;
+}
+
+Result<CrashOpReport> runCrashOp(const std::string& op, std::uint64_t seed) {
+  const OpSpec* spec = nullptr;
+  for (const OpSpec& s : opSpecs()) {
+    if (op == s.name) spec = &s;
+  }
+  if (spec == nullptr) return makeError("crashck: unknown operation '" + op + "'");
+
+  CrashOpReport report;
+  report.op = op;
+
+  // Pass 1: count the persisted writes of a fault-free run. Because the
+  // plan-relative index counts exactly those, the op's crash points are
+  // 0 .. total-1.
+  {
+    BlockDevice device(kDeviceBlocks, kBlockSize);
+    (void)spec->setup(device);
+    device.resetStats();
+    spec->run(device);
+    report.total_writes = device.writeCount();
+  }
+
+  // Pass 2: re-execute from scratch, crashing at every write index.
+  for (std::uint64_t index = 0; index <= report.total_writes; ++index) {
+    const bool control = index == report.total_writes;
+    BlockDevice device(kDeviceBlocks, kBlockSize);
+    const CrashCanary canary = spec->setup(device);
+    if (!control) {
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.crash_at_write = index;
+      plan.torn_mode = TornMode::Seeded;
+      device.setFaultPlan(plan);
+    }
+    try {
+      spec->run(device);
+    } catch (const IoError&) {
+      // The tools return structured errors; this is a backstop only.
+    }
+    device.clearFaults();  // the machine comes back up
+
+    CrashPoint point;
+    point.write_index = index;
+    point.control = control;
+    point.outcome = classifyPostCrashImage(device, canary, point.detail);
+    report.points.push_back(std::move(point));
+  }
+  return report;
+}
+
+Result<CrashCkReport> runCrashCk(const CrashCkOptions& options) {
+  CrashCkReport report;
+  report.seed = options.seed;
+  const std::vector<std::string> ops =
+      options.ops.empty() ? crashCkOpNames() : options.ops;
+  for (const std::string& op : ops) {
+    Result<CrashOpReport> one = runCrashOp(op, options.seed);
+    if (!one.ok()) return makeError(one.error().message);
+    report.ops.push_back(std::move(one.value()));
+  }
+  return report;
+}
+
+}  // namespace fsdep::tools

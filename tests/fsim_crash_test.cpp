@@ -1,0 +1,142 @@
+// CrashCk end-to-end: enumerating every crash point of the fsim tools
+// must never find silent corruption in the fixed toolchain, must find
+// it in the shipped (Figure 1) resize, and must be bit-for-bit
+// deterministic in the (schedule, seed) pair.
+#include <gtest/gtest.h>
+
+#include "tools/crashck.h"
+
+#include "fsim/image.h"
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+
+namespace fsdep::tools {
+namespace {
+
+using namespace fsim;
+
+CrashOpReport enumerate(const std::string& op, std::uint64_t seed = 42) {
+  Result<CrashOpReport> report = runCrashOp(op, seed);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message);
+  return std::move(report.value());
+}
+
+TEST(CrashCk, MkfsHasNoSilentCorruptionPoints) {
+  const CrashOpReport report = enumerate("mkfs");
+  EXPECT_GT(report.total_writes, 0u);
+  EXPECT_EQ(report.points.size(), report.total_writes + 1);
+  EXPECT_EQ(report.countOf(CrashOutcome::SilentCorruption), 0) << report.histogram();
+  EXPECT_EQ(report.countOf(CrashOutcome::DataLoss), 0) << report.histogram();
+  // The control point is the fault-free run: a healthy filesystem.
+  EXPECT_TRUE(report.points.back().control);
+  EXPECT_EQ(report.points.back().outcome, CrashOutcome::Recovered);
+}
+
+TEST(CrashCk, FixedResizeHasNoSilentCorruptionPoints) {
+  const CrashOpReport report = enumerate("resize");
+  EXPECT_GT(report.total_writes, 0u);
+  EXPECT_EQ(report.countOf(CrashOutcome::SilentCorruption), 0) << report.histogram();
+  EXPECT_EQ(report.countOf(CrashOutcome::DataLoss), 0) << report.histogram();
+  EXPECT_EQ(report.points.back().outcome, CrashOutcome::Recovered);
+}
+
+TEST(CrashCk, BuggyResizeShowsSilentCorruption) {
+  const CrashOpReport report = enumerate("resize-buggy");
+  EXPECT_GE(report.countOf(CrashOutcome::SilentCorruption), 1) << report.histogram();
+  // The completed run itself is the lie: clean superblock, wrong counts.
+  EXPECT_EQ(report.points.back().outcome, CrashOutcome::SilentCorruption);
+}
+
+TEST(CrashCk, MountJournalCycleAlwaysRecovers) {
+  const CrashOpReport report = enumerate("mount");
+  // Every crash point of a journalled mount/write/umount cycle replays
+  // to a consistent image with the canary intact.
+  EXPECT_EQ(report.countOf(CrashOutcome::Recovered),
+            static_cast<int>(report.points.size()))
+      << report.histogram();
+}
+
+TEST(CrashCk, RemainingOpsNeverCorruptSilently) {
+  for (const char* op : {"defrag", "tune"}) {
+    const CrashOpReport report = enumerate(op);
+    EXPECT_EQ(report.countOf(CrashOutcome::SilentCorruption), 0)
+        << op << ": " << report.histogram();
+    EXPECT_EQ(report.points.back().outcome, CrashOutcome::Recovered) << op;
+  }
+}
+
+TEST(CrashCk, SameSeedSameReport) {
+  const CrashOpReport a = enumerate("resize-buggy", 1234);
+  const CrashOpReport b = enumerate("resize-buggy", 1234);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.total_writes, b.total_writes);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].outcome, b.points[i].outcome) << i;
+    EXPECT_EQ(a.points[i].detail, b.points[i].detail) << i;
+  }
+}
+
+TEST(CrashCk, FullCampaignFindsExactlyTheFigure1Lie) {
+  const Result<CrashCkReport> result = runCrashCk(CrashCkOptions{.seed = 42});
+  ASSERT_TRUE(result.ok());
+  const CrashCkReport& report = result.value();
+  EXPECT_EQ(report.ops.size(), crashCkOpNames().size());
+  // The only silent-corruption point in the whole campaign comes from
+  // the buggy resize.
+  for (const CrashOpReport& op : report.ops) {
+    if (op.op == "resize-buggy") {
+      EXPECT_GE(op.countOf(CrashOutcome::SilentCorruption), 1);
+    } else {
+      EXPECT_EQ(op.countOf(CrashOutcome::SilentCorruption), 0)
+          << op.op << ": " << op.histogram();
+    }
+  }
+}
+
+TEST(CrashCk, UnknownOpIsAnError) {
+  EXPECT_FALSE(runCrashOp("chkdsk", 42).ok());
+  CrashCkOptions options;
+  options.ops = {"chkdsk"};
+  EXPECT_FALSE(runCrashCk(options).ok());
+}
+
+TEST(CrashCk, ClassifierCallsHealthyImageRecovered) {
+  BlockDevice device(8192, 1024);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  std::string detail;
+  EXPECT_EQ(classifyPostCrashImage(device, CrashCanary{}, detail),
+            CrashOutcome::Recovered)
+      << detail;
+}
+
+TEST(CrashCk, ClassifierDetectsLostCanary) {
+  BlockDevice device(8192, 1024);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  CrashCanary canary;
+  {
+    auto mounted = MountTool::mount(device, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    auto ino = mounted.value().createFile(4096, 0);
+    ASSERT_TRUE(ino.ok());
+    canary.ino = ino.value();
+    canary.size_bytes = 4096;
+    ASSERT_TRUE(mounted.value().removeFile(ino.value()).ok());
+    mounted.value().unmount();
+  }
+  std::string detail;
+  EXPECT_EQ(classifyPostCrashImage(device, canary, detail), CrashOutcome::DataLoss)
+      << detail;
+}
+
+}  // namespace
+}  // namespace fsdep::tools

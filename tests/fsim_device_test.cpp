@@ -73,6 +73,144 @@ TEST(BlockDevice, ResizeGrowsZeroed) {
   for (const std::uint8_t b : in) EXPECT_EQ(b, 0);
 }
 
+TEST(BlockDevice, CrashTriggerFreezesDevice) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 0xAA);
+  FaultPlan plan;
+  plan.crash_at_write = 2;
+  dev.setFaultPlan(plan);
+  dev.writeBlock(0, buf);
+  dev.writeBlock(1, buf);
+  EXPECT_THROW(dev.writeBlock(2, buf), IoError);
+  EXPECT_TRUE(dev.frozen());
+  // The machine lost power: everything fails until "reboot".
+  EXPECT_THROW(dev.writeBlock(3, buf), IoError);
+  EXPECT_THROW(dev.readBlock(0, buf), IoError);
+  dev.clearFaults();
+  EXPECT_FALSE(dev.frozen());
+  EXPECT_NO_THROW(dev.readBlock(0, buf));
+}
+
+TEST(BlockDevice, TornWritePersistsPrefixOnly) {
+  BlockDevice dev(4, 1024);
+  std::vector<std::uint8_t> ones(1024, 0xFF);
+  FaultPlan plan;
+  plan.crash_at_write = 0;
+  plan.torn_mode = TornMode::Prefix;
+  plan.torn_prefix_bytes = 16;
+  dev.setFaultPlan(plan);
+  EXPECT_THROW(dev.writeBlock(2, ones), IoError);
+  dev.clearFaults();
+  std::vector<std::uint8_t> in(1024);
+  dev.readBlock(2, in);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(in[i], 0xFF) << i;
+  for (std::size_t i = 16; i < 1024; ++i) ASSERT_EQ(in[i], 0x00) << i;
+}
+
+TEST(BlockDevice, SeededTornWriteIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    BlockDevice dev(4, 1024);
+    std::vector<std::uint8_t> ones(1024, 0xFF);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.crash_at_write = 1;
+    plan.torn_mode = TornMode::Seeded;
+    dev.setFaultPlan(plan);
+    dev.writeBlock(0, ones);
+    EXPECT_THROW(dev.writeBlock(1, ones), IoError);
+    dev.clearFaults();
+    std::vector<std::uint8_t> in(1024);
+    dev.readBlock(1, in);
+    return in;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // Different seeds tear at different lengths (for these two they do).
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(BlockDevice, FailAfterWritesKillsDevice) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 1);
+  FaultPlan plan;
+  plan.fail_after_writes = 2;
+  dev.setFaultPlan(plan);
+  dev.writeBlock(0, buf);
+  dev.writeBlock(1, buf);
+  EXPECT_THROW(dev.writeBlock(2, buf), IoError);
+  // Dead is permanent — the retry policy must not resurrect it.
+  EXPECT_THROW(dev.writeBlock(2, buf), IoError);
+  // Reads still work: the device stopped accepting writes, not reads.
+  EXPECT_NO_THROW(dev.readBlock(0, buf));
+  dev.clearFaults();
+  EXPECT_NO_THROW(dev.writeBlock(2, buf));
+}
+
+TEST(BlockDevice, TransientErrorClearsUnderRetry) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 2);
+  FaultPlan plan;
+  plan.transients.push_back(TransientFault{.block = 3, .failures = 2, .on_write = true});
+  dev.setFaultPlan(plan);
+  // Default policy allows 3 attempts; the fault clears after 2 failures.
+  EXPECT_NO_THROW(dev.writeBlock(3, buf));
+  EXPECT_EQ(dev.retryCount(), 2u);
+  EXPECT_GT(dev.backoffTicks(), 0u);
+  EXPECT_EQ(dev.writeCount(), 1u);
+}
+
+TEST(BlockDevice, TransientOutlastingRetryBudgetFails) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 3);
+  FaultPlan plan;
+  plan.transients.push_back(TransientFault{.block = 3, .failures = 5, .on_write = true});
+  dev.setFaultPlan(plan);
+  dev.setRetryPolicy(RetryPolicy{.max_attempts = 3, .backoff_base = 2});
+  EXPECT_THROW(dev.writeBlock(3, buf), IoError);
+  EXPECT_EQ(dev.retryCount(), 2u);  // attempts 1 and 2 were retried
+  EXPECT_EQ(dev.backoffTicks(), 2u + 4u);
+  // Two failures remain; a wider budget gets through them.
+  dev.setRetryPolicy(RetryPolicy{.max_attempts = 4, .backoff_base = 1});
+  EXPECT_NO_THROW(dev.writeBlock(3, buf));
+}
+
+TEST(BlockDevice, TransientReadFaults) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024);
+  FaultPlan plan;
+  plan.transients.push_back(TransientFault{.block = 1, .failures = 1, .on_write = false});
+  dev.setFaultPlan(plan);
+  EXPECT_NO_THROW(dev.readBlock(1, buf));  // retried once, then clean
+  EXPECT_EQ(dev.retryCount(), 1u);
+}
+
+TEST(BlockDevice, PlanWriteIndexCountsPersistedWritesOnly) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 4);
+  FaultPlan plan;
+  plan.transients.push_back(TransientFault{.block = 2, .failures = 1, .on_write = true});
+  dev.setFaultPlan(plan);
+  dev.writeBlock(0, buf);
+  dev.writeBlock(2, buf);  // one failed attempt + one persisted write
+  EXPECT_EQ(dev.planWriteIndex(), 2u);
+  EXPECT_EQ(dev.writeCount(), 2u);
+  EXPECT_EQ(dev.retryCount(), 1u);
+}
+
+TEST(BlockDevice, ResetStatsKeepsFaults) {
+  BlockDevice dev(8, 1024);
+  std::vector<std::uint8_t> buf(1024, 5);
+  dev.writeBlock(0, buf);
+  dev.readBlock(0, buf);
+  dev.injectWriteError(4);
+  dev.resetStats();
+  EXPECT_EQ(dev.readCount(), 0u);
+  EXPECT_EQ(dev.writeCount(), 0u);
+  EXPECT_EQ(dev.retryCount(), 0u);
+  EXPECT_EQ(dev.backoffTicks(), 0u);
+  // resetStats observes, clearFaults heals — they are independent.
+  EXPECT_THROW(dev.writeBlock(4, buf), IoError);
+}
+
 TEST(Bitmap, SetGetCount) {
   Bitmap bm(100);
   EXPECT_FALSE(bm.get(5));

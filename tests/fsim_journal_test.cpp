@@ -72,6 +72,52 @@ TEST(Journal, CrashLeavesJournalDirtyAndFsckFlagsIt) {
   EXPECT_TRUE(recovery_flagged) << fsck.value().summary();
 }
 
+TEST(Journal, CrashPersistsDirtyBitItself) {
+  // Regression: crash() must write the dirty bit to the medium, not
+  // just flip an in-memory flag. Simulate intermediate writes having
+  // scrubbed it (store a clean superblock behind the mount's back),
+  // then crash — the on-device journal must still end up dirty.
+  BlockDevice dev = makeFs();
+  auto mounted = MountTool::mount(dev, MountOptions{});
+  ASSERT_TRUE(mounted.ok());
+  ASSERT_TRUE(mounted.value().createFile(2048).ok());
+  {
+    FsImage image(dev);
+    Superblock sb = image.loadSuperblock();
+    sb.journal_dirty = 0;
+    sb.updateChecksum();
+    image.storeSuperblock(sb);
+  }
+  mounted.value().crash();
+  FsImage image(dev);
+  EXPECT_EQ(image.loadSuperblock().journal_dirty, 1);
+  // And recovery proceeds exactly as after any crash: fsck demands a
+  // replay, the next mount performs it.
+  const auto report = FsckTool::check(dev, FsckOptions{.force = true});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().isClean());
+  auto again = MountTool::mount(dev, MountOptions{});
+  ASSERT_TRUE(again.ok());
+  again.value().unmount();
+  EXPECT_EQ(image.loadSuperblock().journal_dirty, 0);
+}
+
+TEST(Journal, CrashOnFrozenDeviceDoesNotThrow) {
+  // A device frozen by the crash fault rejects the dirty-bit write;
+  // crash() must absorb that (the bit set at mount time is on disk).
+  BlockDevice dev = makeFs();
+  auto mounted = MountTool::mount(dev, MountOptions{});
+  ASSERT_TRUE(mounted.ok());
+  FaultPlan plan;
+  plan.crash_at_write = 0;
+  dev.setFaultPlan(plan);
+  EXPECT_NO_THROW(mounted.value().crash());
+  dev.clearFaults();
+  // Mount-time dirty marking already persisted, so replay still happens.
+  FsImage image(dev);
+  EXPECT_EQ(image.loadSuperblock().journal_dirty, 1);
+}
+
 TEST(Journal, MountReplaysAfterCrash) {
   BlockDevice dev = makeFs();
   {

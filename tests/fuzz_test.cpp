@@ -16,6 +16,8 @@
 #include "lex/preprocessor.h"
 #include "sema/sema.h"
 #include "taint/analyzer.h"
+#include "fsim/tune.h"
+#include "tools/crashck.h"
 
 namespace fsdep {
 namespace {
@@ -277,6 +279,103 @@ TEST_P(FsimSequenceProperty, RandomOperationSequencesKeepFsckClean) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FsimSequenceProperty,
                          ::testing::Values(5u, 77u, 901u, 20240u, 777777u));
+
+// ---------------------------------------------------------------------
+// Fault-schedule sweep: random op x crash index x torn prefix. A crash
+// may cost the interrupted operation, but the recovered image must
+// either pass fsck or be flagged for repair — never be silently
+// inconsistent (the fixed toolchain's core crash-safety property).
+// ---------------------------------------------------------------------
+
+class FaultScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultScheduleSweep, CrashedImagesAreNeverSilentlyInconsistent) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t op = rng.below(5);
+
+    fsim::BlockDevice device(8192, 1024);
+    fsim::MkfsOptions mk;
+    mk.block_size = 1024;
+    mk.size_blocks = 2048;
+    mk.blocks_per_group = 512;
+    mk.inode_ratio = 8192;
+    if (op == 2) {  // the resize op runs on a sparse_super2 filesystem
+      mk.sparse_super2 = true;
+      mk.resize_inode = false;
+    }
+    ASSERT_TRUE(fsim::MkfsTool::format(device, mk).ok());
+
+    tools::CrashCanary canary;
+    {
+      auto mounted = fsim::MountTool::mount(device, fsim::MountOptions{});
+      ASSERT_TRUE(mounted.ok());
+      const auto ino = mounted.value().createFile(6144, 2);
+      if (ino.ok()) {
+        canary.ino = ino.value();
+        canary.size_bytes = 6144;
+      }
+      mounted.value().unmount();
+    }
+
+    fsim::FaultPlan plan;
+    plan.seed = rng.next();
+    plan.crash_at_write = rng.below(64);  // may be past the op's last write
+    switch (rng.below(3)) {
+      case 0: plan.torn_mode = fsim::TornMode::None; break;
+      case 1:
+        plan.torn_mode = fsim::TornMode::Prefix;
+        plan.torn_prefix_bytes = rng.below(1025);
+        break;
+      default: plan.torn_mode = fsim::TornMode::Seeded; break;
+    }
+    device.setFaultPlan(plan);
+
+    switch (op) {
+      case 0: {  // journal cycle
+        auto mounted = fsim::MountTool::mount(device, fsim::MountOptions{});
+        if (mounted.ok()) {
+          (void)mounted.value().createFile(1024 + rng.below(8) * 1024, rng.below(3));
+          mounted.value().unmount();
+        }
+        break;
+      }
+      case 1:
+      case 2: {  // grow (fixed accounting; op 2 on sparse_super2)
+        fsim::ResizeOptions ro;
+        ro.new_size_blocks = 2560 + rng.below(2) * 512;
+        ro.fix_sparse_super2_accounting = true;
+        (void)fsim::ResizeTool::resize(device, ro);
+        break;
+      }
+      case 3: {  // defrag
+        auto mounted = fsim::MountTool::mount(device, fsim::MountOptions{});
+        if (mounted.ok()) {
+          (void)fsim::DefragTool::run(mounted.value(), device, fsim::DefragOptions{});
+          mounted.value().unmount();
+        }
+        break;
+      }
+      default: {  // tune
+        fsim::TuneOptions t;
+        t.label = "sweep";
+        t.reserved_blocks_count = rng.below(512);
+        (void)fsim::TuneTool::tune(device, t);
+        break;
+      }
+    }
+
+    device.clearFaults();
+    std::string detail;
+    const tools::CrashOutcome outcome =
+        tools::classifyPostCrashImage(device, canary, detail);
+    EXPECT_NE(outcome, tools::CrashOutcome::SilentCorruption)
+        << "round " << round << " op " << op << ": " << detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleSweep,
+                         ::testing::Values(13u, 137u, 4242u, 500500u));
 
 }  // namespace
 }  // namespace fsdep

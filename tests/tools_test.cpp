@@ -219,6 +219,48 @@ TEST(TuneProbes, QuotaJournalViolationIsNamed) {
 
 // --- Dependency graph rendering. ---
 
+TEST(FaultMode, BuggyResizeIsTheOnlyCorruption) {
+  const HandleCheckReport report = runHandleCheckUnderFaults(42);
+  ASSERT_FALSE(report.cases.empty());
+  for (const HandleCase& c : report.cases) {
+    if (c.dependency_id == "fault-resize-sparse2-buggy") {
+      EXPECT_EQ(c.outcome, HandleOutcome::Corruption) << c.detail;
+    } else {
+      EXPECT_EQ(c.outcome, HandleOutcome::BehavedConsistently)
+          << c.dependency_id << ": " << c.detail;
+    }
+  }
+}
+
+TEST(FaultMode, CoversTheWholeToolchain) {
+  const HandleCheckReport report = runHandleCheckUnderFaults(42);
+  std::vector<std::string> ids;
+  for (const HandleCase& c : report.cases) ids.push_back(c.dependency_id);
+  for (const char* expected :
+       {"fault-mkfs", "fault-mount-commit", "fault-resize-sparse2-buggy",
+        "fault-resize-sparse2-fixed", "fault-defrag", "fault-tune"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end()) << expected;
+  }
+}
+
+TEST(FaultMode, DetailCarriesTheHistogram) {
+  const HandleCheckReport report = runHandleCheckUnderFaults(42);
+  for (const HandleCase& c : report.cases) {
+    EXPECT_NE(c.detail.find("crash point(s)"), std::string::npos) << c.dependency_id;
+    EXPECT_NE(c.detail.find("recovered="), std::string::npos) << c.dependency_id;
+  }
+}
+
+TEST(FaultMode, DeterministicInTheSeed) {
+  const HandleCheckReport a = runHandleCheckUnderFaults(99);
+  const HandleCheckReport b = runHandleCheckUnderFaults(99);
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(a.cases[i].outcome, b.cases[i].outcome) << a.cases[i].dependency_id;
+    EXPECT_EQ(a.cases[i].detail, b.cases[i].detail) << a.cases[i].dependency_id;
+  }
+}
+
 TEST(DepGraph, RendersEdgesWithLevelsAndClusters) {
   const Dependency cpd = dep(DepKind::CpdControl, ConstraintOp::Excludes, "mke2fs.a", "mke2fs.b");
   Dependency ccd = dep(DepKind::CcdBehavioral, ConstraintOp::Influences, "resize2fs.x", "mke2fs.a");
