@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bridging.dir/ablation_bridging.cpp.o"
+  "CMakeFiles/ablation_bridging.dir/ablation_bridging.cpp.o.d"
+  "ablation_bridging"
+  "ablation_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashck.dir/crashck.cpp.o"
+  "CMakeFiles/crashck.dir/crashck.cpp.o.d"
+  "crashck"
+  "crashck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

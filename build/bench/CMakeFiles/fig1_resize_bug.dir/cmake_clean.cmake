@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_resize_bug.dir/fig1_resize_bug.cpp.o"
+  "CMakeFiles/fig1_resize_bug.dir/fig1_resize_bug.cpp.o.d"
+  "fig1_resize_bug"
+  "fig1_resize_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_resize_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_config_stages.dir/fig2_config_stages.cpp.o"
+  "CMakeFiles/fig2_config_stages.dir/fig2_config_stages.cpp.o.d"
+  "fig2_config_stages"
+  "fig2_config_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_config_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_btrfs.dir/future_btrfs.cpp.o"
+  "CMakeFiles/future_btrfs.dir/future_btrfs.cpp.o.d"
+  "future_btrfs"
+  "future_btrfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_btrfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_xfs.dir/future_xfs.cpp.o"
+  "CMakeFiles/future_xfs.dir/future_xfs.cpp.o.d"
+  "future_xfs"
+  "future_xfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_xfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_analyzer.dir/perf_analyzer.cpp.o"
+  "CMakeFiles/perf_analyzer.dir/perf_analyzer.cpp.o.d"
+  "perf_analyzer"
+  "perf_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_taxonomy.dir/table4_taxonomy.cpp.o"
+  "CMakeFiles/table4_taxonomy.dir/table4_taxonomy.cpp.o.d"
+  "table4_taxonomy"
+  "table4_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_extraction.dir/table5_extraction.cpp.o"
+  "CMakeFiles/table5_extraction.dir/table5_extraction.cpp.o.d"
+  "table5_extraction"
+  "table5_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

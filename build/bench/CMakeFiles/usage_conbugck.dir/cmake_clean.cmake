@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_conbugck.dir/usage_conbugck.cpp.o"
+  "CMakeFiles/usage_conbugck.dir/usage_conbugck.cpp.o.d"
+  "usage_conbugck"
+  "usage_conbugck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_conbugck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

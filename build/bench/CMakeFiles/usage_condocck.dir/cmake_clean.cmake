@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_condocck.dir/usage_condocck.cpp.o"
+  "CMakeFiles/usage_condocck.dir/usage_condocck.cpp.o.d"
+  "usage_condocck"
+  "usage_condocck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_condocck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for usage_condocck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_conhandleck.dir/usage_conhandleck.cpp.o"
+  "CMakeFiles/usage_conhandleck.dir/usage_conhandleck.cpp.o.d"
+  "usage_conhandleck"
+  "usage_conhandleck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_conhandleck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_fuzz_harness.dir/config_fuzz_harness.cpp.o"
+  "CMakeFiles/config_fuzz_harness.dir/config_fuzz_harness.cpp.o.d"
+  "config_fuzz_harness"
+  "config_fuzz_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_fuzz_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

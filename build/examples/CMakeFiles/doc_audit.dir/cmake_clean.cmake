@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_audit.dir/doc_audit.cpp.o"
+  "CMakeFiles/doc_audit.dir/doc_audit.cpp.o.d"
+  "doc_audit"
+  "doc_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/fsdep_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/fsdep_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fsdep_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdep_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/fsdep_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/fsdep_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/fsdep_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/fsdep_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fsdep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

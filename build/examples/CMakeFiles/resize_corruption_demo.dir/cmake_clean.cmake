@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resize_corruption_demo.dir/resize_corruption_demo.cpp.o"
+  "CMakeFiles/resize_corruption_demo.dir/resize_corruption_demo.cpp.o.d"
+  "resize_corruption_demo"
+  "resize_corruption_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resize_corruption_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("json")
+subdirs("model")
+subdirs("lex")
+subdirs("ast")
+subdirs("sema")
+subdirs("cfg")
+subdirs("taint")
+subdirs("extract")
+subdirs("corpus")
+subdirs("study")
+subdirs("fsim")
+subdirs("tools")
+subdirs("cli")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_ast.dir/ast.cpp.o"
+  "CMakeFiles/fsdep_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/fsdep_ast.dir/dump.cpp.o"
+  "CMakeFiles/fsdep_ast.dir/dump.cpp.o.d"
+  "CMakeFiles/fsdep_ast.dir/parser.cpp.o"
+  "CMakeFiles/fsdep_ast.dir/parser.cpp.o.d"
+  "libfsdep_ast.a"
+  "libfsdep_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

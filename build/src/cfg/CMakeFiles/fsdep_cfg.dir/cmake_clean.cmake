@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/fsdep_cfg.dir/cfg.cpp.o.d"
+  "libfsdep_cfg.a"
+  "libfsdep_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

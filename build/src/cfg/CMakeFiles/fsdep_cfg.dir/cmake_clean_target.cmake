@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsdep_cfg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep.dir/main.cpp.o"
+  "CMakeFiles/fsdep.dir/main.cpp.o.d"
+  "fsdep"
+  "fsdep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/ground_truth.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/ground_truth.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/corpus/manuals.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/manuals.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/manuals.cpp.o.d"
+  "/root/repo/src/corpus/pipeline.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/pipeline.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/pipeline.cpp.o.d"
+  "/root/repo/src/corpus/registry.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/registry.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/registry.cpp.o.d"
+  "/root/repo/src/corpus/scenarios.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/scenarios.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/scenarios.cpp.o.d"
+  "/root/repo/src/corpus/seeds.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/seeds.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/seeds.cpp.o.d"
+  "/root/repo/src/corpus/sources_btrfs.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_btrfs.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_btrfs.cpp.o.d"
+  "/root/repo/src/corpus/sources_e2fsck.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_e2fsck.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_e2fsck.cpp.o.d"
+  "/root/repo/src/corpus/sources_e4defrag.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_e4defrag.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_e4defrag.cpp.o.d"
+  "/root/repo/src/corpus/sources_ext4.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_ext4.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_ext4.cpp.o.d"
+  "/root/repo/src/corpus/sources_headers.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_headers.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_headers.cpp.o.d"
+  "/root/repo/src/corpus/sources_mke2fs.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_mke2fs.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_mke2fs.cpp.o.d"
+  "/root/repo/src/corpus/sources_mount.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_mount.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_mount.cpp.o.d"
+  "/root/repo/src/corpus/sources_resize2fs.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_resize2fs.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_resize2fs.cpp.o.d"
+  "/root/repo/src/corpus/sources_xfs.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_xfs.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/sources_xfs.cpp.o.d"
+  "/root/repo/src/corpus/suites.cpp" "src/corpus/CMakeFiles/fsdep_corpus.dir/suites.cpp.o" "gcc" "src/corpus/CMakeFiles/fsdep_corpus.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/fsdep_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fsdep_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/fsdep_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/fsdep_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/fsdep_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/fsdep_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/fsdep_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdep_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fsdep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/corpus/CMakeFiles/fsdep_corpus.dir/sources_resize2fs.cpp.o: \
+ /root/repo/src/corpus/sources_resize2fs.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/sources_internal.h

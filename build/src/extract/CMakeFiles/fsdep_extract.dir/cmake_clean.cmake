@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_extract.dir/extractor.cpp.o"
+  "CMakeFiles/fsdep_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/fsdep_extract.dir/guards.cpp.o"
+  "CMakeFiles/fsdep_extract.dir/guards.cpp.o.d"
+  "CMakeFiles/fsdep_extract.dir/scoring.cpp.o"
+  "CMakeFiles/fsdep_extract.dir/scoring.cpp.o.d"
+  "libfsdep_extract.a"
+  "libfsdep_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

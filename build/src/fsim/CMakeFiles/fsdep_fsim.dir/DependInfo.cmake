@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsim/block_device.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/block_device.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/block_device.cpp.o.d"
+  "/root/repo/src/fsim/coverage.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/coverage.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/coverage.cpp.o.d"
+  "/root/repo/src/fsim/defrag.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/defrag.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/defrag.cpp.o.d"
+  "/root/repo/src/fsim/fsck.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/fsck.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/fsck.cpp.o.d"
+  "/root/repo/src/fsim/image.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/image.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/image.cpp.o.d"
+  "/root/repo/src/fsim/layout.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/layout.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/layout.cpp.o.d"
+  "/root/repo/src/fsim/mkfs.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/mkfs.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/mkfs.cpp.o.d"
+  "/root/repo/src/fsim/mount.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/mount.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/mount.cpp.o.d"
+  "/root/repo/src/fsim/resize.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/resize.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/resize.cpp.o.d"
+  "/root/repo/src/fsim/tune.cpp" "src/fsim/CMakeFiles/fsdep_fsim.dir/tune.cpp.o" "gcc" "src/fsim/CMakeFiles/fsdep_fsim.dir/tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fsdep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

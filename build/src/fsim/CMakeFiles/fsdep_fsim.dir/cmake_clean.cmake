@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_fsim.dir/block_device.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/block_device.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/coverage.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/coverage.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/defrag.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/defrag.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/fsck.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/fsck.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/image.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/image.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/layout.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/layout.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/mkfs.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/mkfs.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/mount.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/mount.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/resize.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/resize.cpp.o.d"
+  "CMakeFiles/fsdep_fsim.dir/tune.cpp.o"
+  "CMakeFiles/fsdep_fsim.dir/tune.cpp.o.d"
+  "libfsdep_fsim.a"
+  "libfsdep_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_json.dir/json.cpp.o"
+  "CMakeFiles/fsdep_json.dir/json.cpp.o.d"
+  "CMakeFiles/fsdep_json.dir/parser.cpp.o"
+  "CMakeFiles/fsdep_json.dir/parser.cpp.o.d"
+  "CMakeFiles/fsdep_json.dir/writer.cpp.o"
+  "CMakeFiles/fsdep_json.dir/writer.cpp.o.d"
+  "libfsdep_json.a"
+  "libfsdep_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lex/lexer.cpp" "src/lex/CMakeFiles/fsdep_lex.dir/lexer.cpp.o" "gcc" "src/lex/CMakeFiles/fsdep_lex.dir/lexer.cpp.o.d"
+  "/root/repo/src/lex/preprocessor.cpp" "src/lex/CMakeFiles/fsdep_lex.dir/preprocessor.cpp.o" "gcc" "src/lex/CMakeFiles/fsdep_lex.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/lex/token.cpp" "src/lex/CMakeFiles/fsdep_lex.dir/token.cpp.o" "gcc" "src/lex/CMakeFiles/fsdep_lex.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fsdep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

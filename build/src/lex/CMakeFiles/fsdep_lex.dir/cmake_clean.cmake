@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_lex.dir/lexer.cpp.o"
+  "CMakeFiles/fsdep_lex.dir/lexer.cpp.o.d"
+  "CMakeFiles/fsdep_lex.dir/preprocessor.cpp.o"
+  "CMakeFiles/fsdep_lex.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/fsdep_lex.dir/token.cpp.o"
+  "CMakeFiles/fsdep_lex.dir/token.cpp.o.d"
+  "libfsdep_lex.a"
+  "libfsdep_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

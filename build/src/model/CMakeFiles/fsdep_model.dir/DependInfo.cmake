@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config_model.cpp" "src/model/CMakeFiles/fsdep_model.dir/config_model.cpp.o" "gcc" "src/model/CMakeFiles/fsdep_model.dir/config_model.cpp.o.d"
+  "/root/repo/src/model/dependency.cpp" "src/model/CMakeFiles/fsdep_model.dir/dependency.cpp.o" "gcc" "src/model/CMakeFiles/fsdep_model.dir/dependency.cpp.o.d"
+  "/root/repo/src/model/serialization.cpp" "src/model/CMakeFiles/fsdep_model.dir/serialization.cpp.o" "gcc" "src/model/CMakeFiles/fsdep_model.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fsdep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdep_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_model.dir/config_model.cpp.o"
+  "CMakeFiles/fsdep_model.dir/config_model.cpp.o.d"
+  "CMakeFiles/fsdep_model.dir/dependency.cpp.o"
+  "CMakeFiles/fsdep_model.dir/dependency.cpp.o.d"
+  "CMakeFiles/fsdep_model.dir/serialization.cpp.o"
+  "CMakeFiles/fsdep_model.dir/serialization.cpp.o.d"
+  "libfsdep_model.a"
+  "libfsdep_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

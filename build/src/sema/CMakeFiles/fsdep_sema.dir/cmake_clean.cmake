@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_sema.dir/sema.cpp.o"
+  "CMakeFiles/fsdep_sema.dir/sema.cpp.o.d"
+  "libfsdep_sema.a"
+  "libfsdep_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_study.dir/bug_study.cpp.o"
+  "CMakeFiles/fsdep_study.dir/bug_study.cpp.o.d"
+  "CMakeFiles/fsdep_study.dir/coverage.cpp.o"
+  "CMakeFiles/fsdep_study.dir/coverage.cpp.o.d"
+  "libfsdep_study.a"
+  "libfsdep_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

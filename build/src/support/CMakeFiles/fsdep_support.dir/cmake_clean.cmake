@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/fsdep_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/fsdep_support.dir/source_manager.cpp.o"
+  "CMakeFiles/fsdep_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/fsdep_support.dir/strings.cpp.o"
+  "CMakeFiles/fsdep_support.dir/strings.cpp.o.d"
+  "libfsdep_support.a"
+  "libfsdep_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

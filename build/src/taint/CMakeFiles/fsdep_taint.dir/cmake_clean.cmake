@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_taint.dir/analyzer.cpp.o"
+  "CMakeFiles/fsdep_taint.dir/analyzer.cpp.o.d"
+  "CMakeFiles/fsdep_taint.dir/label.cpp.o"
+  "CMakeFiles/fsdep_taint.dir/label.cpp.o.d"
+  "CMakeFiles/fsdep_taint.dir/state.cpp.o"
+  "CMakeFiles/fsdep_taint.dir/state.cpp.o.d"
+  "libfsdep_taint.a"
+  "libfsdep_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

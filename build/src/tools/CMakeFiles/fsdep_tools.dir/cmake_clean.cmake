@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdep_tools.dir/conbugck.cpp.o"
+  "CMakeFiles/fsdep_tools.dir/conbugck.cpp.o.d"
+  "CMakeFiles/fsdep_tools.dir/condocck.cpp.o"
+  "CMakeFiles/fsdep_tools.dir/condocck.cpp.o.d"
+  "CMakeFiles/fsdep_tools.dir/conhandleck.cpp.o"
+  "CMakeFiles/fsdep_tools.dir/conhandleck.cpp.o.d"
+  "CMakeFiles/fsdep_tools.dir/crashck.cpp.o"
+  "CMakeFiles/fsdep_tools.dir/crashck.cpp.o.d"
+  "CMakeFiles/fsdep_tools.dir/depgraph.cpp.o"
+  "CMakeFiles/fsdep_tools.dir/depgraph.cpp.o.d"
+  "libfsdep_tools.a"
+  "libfsdep_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdep_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

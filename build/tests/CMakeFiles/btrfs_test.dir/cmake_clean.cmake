@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrfs_test.dir/btrfs_test.cpp.o"
+  "CMakeFiles/btrfs_test.dir/btrfs_test.cpp.o.d"
+  "btrfs_test"
+  "btrfs_test.pdb"
+  "btrfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_crash_test.dir/fsim_crash_test.cpp.o"
+  "CMakeFiles/fsim_crash_test.dir/fsim_crash_test.cpp.o.d"
+  "fsim_crash_test"
+  "fsim_crash_test.pdb"
+  "fsim_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

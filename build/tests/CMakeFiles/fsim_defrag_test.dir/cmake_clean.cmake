@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_defrag_test.dir/fsim_defrag_test.cpp.o"
+  "CMakeFiles/fsim_defrag_test.dir/fsim_defrag_test.cpp.o.d"
+  "fsim_defrag_test"
+  "fsim_defrag_test.pdb"
+  "fsim_defrag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_defrag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_fsck_test.dir/fsim_fsck_test.cpp.o"
+  "CMakeFiles/fsim_fsck_test.dir/fsim_fsck_test.cpp.o.d"
+  "fsim_fsck_test"
+  "fsim_fsck_test.pdb"
+  "fsim_fsck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

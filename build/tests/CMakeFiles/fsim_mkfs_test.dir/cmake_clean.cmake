@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_mkfs_test.dir/fsim_mkfs_test.cpp.o"
+  "CMakeFiles/fsim_mkfs_test.dir/fsim_mkfs_test.cpp.o.d"
+  "fsim_mkfs_test"
+  "fsim_mkfs_test.pdb"
+  "fsim_mkfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_mkfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_mount_test.dir/fsim_mount_test.cpp.o"
+  "CMakeFiles/fsim_mount_test.dir/fsim_mount_test.cpp.o.d"
+  "fsim_mount_test"
+  "fsim_mount_test.pdb"
+  "fsim_mount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_mount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

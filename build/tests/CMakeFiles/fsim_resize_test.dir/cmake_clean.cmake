@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_resize_test.dir/fsim_resize_test.cpp.o"
+  "CMakeFiles/fsim_resize_test.dir/fsim_resize_test.cpp.o.d"
+  "fsim_resize_test"
+  "fsim_resize_test.pdb"
+  "fsim_resize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

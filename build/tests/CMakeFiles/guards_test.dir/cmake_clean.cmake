@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guards_test.dir/guards_test.cpp.o"
+  "CMakeFiles/guards_test.dir/guards_test.cpp.o.d"
+  "guards_test"
+  "guards_test.pdb"
+  "guards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

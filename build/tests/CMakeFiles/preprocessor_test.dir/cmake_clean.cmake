@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessor_test.dir/preprocessor_test.cpp.o"
+  "CMakeFiles/preprocessor_test.dir/preprocessor_test.cpp.o.d"
+  "preprocessor_test"
+  "preprocessor_test.pdb"
+  "preprocessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

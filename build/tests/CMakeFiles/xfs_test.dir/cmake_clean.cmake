@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfs_test.dir/xfs_test.cpp.o"
+  "CMakeFiles/xfs_test.dir/xfs_test.cpp.o.d"
+  "xfs_test"
+  "xfs_test.pdb"
+  "xfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

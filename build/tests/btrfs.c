@@ -1,0 +1,96 @@
+
+#include "fsdep_libc.h"
+#include "btrfs_fs.h"
+
+#define EINVAL 22
+
+/* Extracts the value part of an "opt=value" token, or 0. */
+static char *btrfs_opt_value(char *token) {
+  long i = 0;
+  while (token[i]) {
+    if (token[i] == '=') {
+      return token + i + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+/*
+ * Mount option handling (btrfs_parse_options). The max_inline bound is
+ * the headline cross-component dependency: a mount parameter limited by
+ * a creation parameter through the superblock.
+ */
+int btrfs_parse_options(int argc, char **argv, struct btrfs_sb *sb) {
+  long max_inline = 2048;
+  long commit_interval = 30;
+  long thread_pool = 8;
+  int compress = 0;
+  int autodefrag = 0;
+  int nodatacow = 0;
+  int nodatasum = 0;
+  int i = 0;
+
+  for (i = 1; i < argc; i = i + 1) {
+    if (strncmp(argv[i], "max_inline=", 11) == 0) {
+      max_inline = parse_num(btrfs_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "commit=", 7) == 0) {
+      commit_interval = parse_num(btrfs_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "thread_pool=", 12) == 0) {
+      thread_pool = parse_num(btrfs_opt_value(argv[i]));
+    } else if (strcmp(argv[i], "compress") == 0) {
+      compress = 1;
+    } else if (strcmp(argv[i], "autodefrag") == 0) {
+      autodefrag = 1;
+    } else if (strcmp(argv[i], "nodatacow") == 0) {
+      nodatacow = 1;
+    } else if (strcmp(argv[i], "nodatasum") == 0) {
+      nodatasum = 1;
+    }
+  }
+
+  if (commit_interval < 1 || commit_interval > 300) {
+    return -EINVAL;
+  }
+  if (thread_pool < 1 || thread_pool > 256) {
+    return -EINVAL;
+  }
+  /* nodatacow implies nodatasum; enabling checksums without CoW is
+   * rejected. */
+  if (nodatacow && !nodatasum) {
+    com_err("btrfs", "nodatacow requires nodatasum");
+    return -EINVAL;
+  }
+  if (compress && nodatacow) {
+    com_err("btrfs", "compression is incompatible with nodatacow");
+    return -EINVAL;
+  }
+  /* The cross-component bound: inline extents must fit in a tree node. */
+  if (max_inline > sb->sb_nodesize) {
+    com_err("btrfs", "max_inline cannot exceed the node size");
+    return -EINVAL;
+  }
+  return autodefrag >= 0 ? 0 : -1;
+}
+
+/*
+ * Superblock validation at mount (btrfs_validate_super).
+ */
+int btrfs_validate_super(struct btrfs_sb *sb) {
+  if (sb->sb_magicnum != BTRFS_SB_MAGIC) {
+    return -EINVAL;
+  }
+  if (sb->sb_sectorsize < 4096 || sb->sb_sectorsize > 65536) {
+    return -EINVAL;
+  }
+  if (sb->sb_nodesize < BTRFS_MIN_NODESIZE || sb->sb_nodesize > BTRFS_MAX_NODESIZE) {
+    return -EINVAL;
+  }
+  if (sb->sb_nodesize < sb->sb_sectorsize) {
+    return -EINVAL;
+  }
+  if (sb->sb_num_devices < 1) {
+    return -EINVAL;
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+
+#include "fsdep_libc.h"
+#include "btrfs_fs.h"
+
+/*
+ * btrfs-balance: online restriping. Converting to a redundant profile
+ * depends on the device count chosen at mkfs time — a control CCD.
+ */
+int btrfs_balance_main(int argc, char **argv, struct btrfs_sb *sb) {
+  long convert_to = -1;
+  int to_raid1 = 0;
+  int to_raid5 = 0;
+  int force = 0;
+  int c = 0;
+
+  while ((c = getopt(argc, argv, "15f")) != -1) {
+    switch (c) {
+      case '1':
+        to_raid1 = 1;
+        convert_to = BTRFS_RAID_RAID1;
+        break;
+      case '5':
+        to_raid5 = 1;
+        convert_to = BTRFS_RAID_RAID5;
+        break;
+      case 'f':
+        force = 1;
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  if (to_raid1 && sb->sb_num_devices < 2) {
+    fatal_error("balance: raid1 conversion needs at least two devices");
+    return -1;
+  }
+  if (to_raid5 && !(sb->sb_features & BTRFS_FEAT_RAID56)) {
+    fatal_error("balance: raid5 conversion needs the raid56 feature");
+    return -1;
+  }
+  if (!force && convert_to == sb->sb_data_profile) {
+    printf("balance: profile unchanged, nothing to do");
+    return 0;
+  }
+
+  if (sb->sb_features & BTRFS_FEAT_MIXED_BG) {
+    printf("balance: mixed block groups restripe data and metadata together");
+  }
+
+  sb->sb_data_profile = convert_to;
+  return 0;
+}

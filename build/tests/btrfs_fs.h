@@ -1,0 +1,41 @@
+
+#ifndef BTRFS_FS_H
+#define BTRFS_FS_H
+
+typedef unsigned char  u8;
+typedef unsigned short u16;
+typedef unsigned int   u32;
+typedef unsigned long  u64;
+
+#define BTRFS_SB_MAGIC 1817327701
+#define BTRFS_MIN_NODESIZE 4096
+#define BTRFS_MAX_NODESIZE 65536
+
+enum btrfs_features {
+  BTRFS_FEAT_MIXED_BG   = 0x0001,
+  BTRFS_FEAT_EXTREF     = 0x0002,
+  BTRFS_FEAT_RAID56     = 0x0004,
+  BTRFS_FEAT_SKINNY     = 0x0008,
+  BTRFS_FEAT_NO_HOLES   = 0x0010
+};
+
+enum btrfs_raid_profile {
+  BTRFS_RAID_SINGLE = 0,
+  BTRFS_RAID_DUP    = 1,
+  BTRFS_RAID_RAID0  = 2,
+  BTRFS_RAID_RAID1  = 3,
+  BTRFS_RAID_RAID5  = 4
+};
+
+struct btrfs_sb {
+  u32 sb_magicnum;
+  u32 sb_sectorsize;
+  u32 sb_nodesize;
+  u32 sb_num_devices;
+  u32 sb_total_bytes;
+  u32 sb_data_profile;
+  u32 sb_meta_profile;
+  u32 sb_features;
+};
+
+#endif

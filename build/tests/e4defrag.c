@@ -1,0 +1,62 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+/* Fragmentation score of a file; placeholder for the extent-tree walk. */
+static long defrag_fragmentation_score(struct ext4_super_block *sb, long ino) {
+  long score = ino % 7;
+  if (sb->s_magic != EXT4_SUPER_MAGIC) {
+    return -1;
+  }
+  return score;
+}
+
+/* Whether the mounted fs supports online defrag at all. */
+static int defrag_check_fs(struct ext4_super_block *sb) {
+  if (sb->s_magic != EXT4_SUPER_MAGIC) {
+    return -1;
+  }
+  return 0;
+}
+
+int e4defrag_main(int argc, char **argv, struct ext4_super_block *sb) {
+  int stat_only = 0;
+  int verbose = 0;
+  int c = 0;
+  long ino = 0;
+  long moved = 0;
+
+  while ((c = getopt(argc, argv, "cv")) != -1) {
+    switch (c) {
+      case 'c':
+        stat_only = 1;
+        break;
+      case 'v':
+        verbose = 1;
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  if (defrag_check_fs(sb) < 0) {
+    fatal_error("not an ext4 filesystem");
+  }
+
+  for (ino = 12; ino < 64; ino = ino + 1) {
+    long score = defrag_fragmentation_score(sb, ino);
+    if (score > 3) {
+      if (stat_only) {
+        printf("would defragment inode");
+      } else {
+        moved = moved + 1;
+      }
+      if (verbose) {
+        printf("inode score high");
+      }
+    }
+  }
+
+  return moved > 0 ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+#define EINVAL 22
+#define EXT4_MAX_STRIPE 2097152
+#define EXT4_MAX_COMMIT_INTERVAL 300
+#define EXT4_MAX_BATCH_TIME 60000
+#define EXT4_MAX_INODE_READAHEAD 1073741824
+
+/* ---- Feature accessors (the kernel's ext4_has_feature_* idiom). ---- */
+
+static int ext4_check_magic(struct ext4_super_block *es) {
+  return es->s_magic == EXT4_SUPER_MAGIC;
+}
+
+static int ext4_has_feature_extents(struct ext4_super_block *es) {
+  return es->s_feature_incompat & EXT4_FEATURE_INCOMPAT_EXTENTS;
+}
+
+static int ext4_has_feature_64bit(struct ext4_super_block *es) {
+  return es->s_feature_incompat & EXT4_FEATURE_INCOMPAT_64BIT;
+}
+
+static int ext4_has_feature_inline_data(struct ext4_super_block *es) {
+  return es->s_feature_incompat & EXT4_FEATURE_INCOMPAT_INLINE_DATA;
+}
+
+static int ext4_has_feature_bigalloc(struct ext4_super_block *es) {
+  return es->s_feature_ro_compat & EXT4_FEATURE_RO_COMPAT_BIGALLOC;
+}
+
+static int ext4_has_feature_journal(struct ext4_super_block *es) {
+  return es->s_feature_compat & EXT4_FEATURE_COMPAT_HAS_JOURNAL;
+}
+
+/* Extracts the value part of an "opt=value" token, or 0. */
+static char *ext4_opt_value(char *token) {
+  long i = 0;
+  while (token[i]) {
+    if (token[i] == '=') {
+      return token + i + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+/*
+ * Parses the mount option string (pre-split into tokens). Numeric
+ * tunables are range-checked here, mirroring the kernel's
+ * handle_mount_opt().
+ */
+int ext4_parse_options(int argc, char **argv) {
+  long commit_interval = 5;
+  long stripe = 0;
+  long inode_readahead_blks = 32;
+  long max_batch_time = 15000;
+  long min_batch_time = 0;
+  int dax = 0;
+  int delalloc = 1;
+  int i = 0;
+
+  for (i = 1; i < argc; i = i + 1) {
+    if (strncmp(argv[i], "commit=", 7) == 0) {
+      commit_interval = parse_num(ext4_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "stripe=", 7) == 0) {
+      stripe = parse_num(ext4_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "inode_readahead_blks=", 21) == 0) {
+      inode_readahead_blks = parse_num(ext4_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "max_batch_time=", 15) == 0) {
+      max_batch_time = parse_num(ext4_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "min_batch_time=", 15) == 0) {
+      min_batch_time = strtol(ext4_opt_value(argv[i]), 0, 10);
+    } else if (strcmp(argv[i], "dax") == 0) {
+      dax = 1;
+    } else if (strcmp(argv[i], "nodelalloc") == 0) {
+      delalloc = 0;
+    }
+  }
+
+  if (commit_interval < 1 || commit_interval > EXT4_MAX_COMMIT_INTERVAL) {
+    return -EINVAL;
+  }
+  if (stripe < 0 || stripe > EXT4_MAX_STRIPE) {
+    return -EINVAL;
+  }
+  if (inode_readahead_blks > EXT4_MAX_INODE_READAHEAD ||
+      (inode_readahead_blks & (inode_readahead_blks - 1))) {
+    return -EINVAL;
+  }
+  if (max_batch_time < 0 || max_batch_time > EXT4_MAX_BATCH_TIME) {
+    return -EINVAL;
+  }
+
+  return dax + delalloc + min_batch_time >= 0 ? 0 : -1;
+}
+
+/*
+ * Superblock validation at mount time: the kernel-level half of the
+ * "validated at both user level and kernel level" observation (paper §2).
+ */
+int ext4_fill_super(struct ext4_super_block *es, int dax, int data_journal, int data_writeback,
+                    int noload, int ro, int journal_checksum, int journal_async_commit,
+                    int usrjquota, int jqfmt, int dioread_nolock, int delalloc, int nobh) {
+  long blocksize = 0;
+
+  if (!ext4_check_magic(es)) {
+    return -EINVAL;
+  }
+
+  /* ---- On-disk field domains (persistent form of mke2fs parameters). */
+  if (es->s_log_block_size > EXT4_MAX_BLOCK_LOG_SIZE) {
+    com_err("ext4", "bad blocksize log");
+    return -EINVAL;
+  }
+  blocksize = EXT4_MIN_BLOCK_SIZE << es->s_log_block_size;
+  if (blocksize > EXT4_MAX_BLOCK_SIZE) {
+    return -EINVAL;
+  }
+  if (es->s_inode_size < EXT4_GOOD_OLD_INODE_SIZE || es->s_inode_size > 4096) {
+    com_err("ext4", "unsupported inode size");
+    return -EINVAL;
+  }
+  if (es->s_rev_level > 1) {
+    com_err("ext4", "revision level too high");
+    return -EINVAL;
+  }
+  if (es->s_first_ino < EXT4_GOOD_OLD_FIRST_INO) {
+    return -EINVAL;
+  }
+  if (es->s_desc_size < 32 || es->s_desc_size > 64) {
+    return -EINVAL;
+  }
+  if (es->s_first_data_block > 1) {
+    return -EINVAL;
+  }
+
+  /* ---- Mount option interactions (kernel-enforced CPDs). ---- */
+  if (dax && data_journal) {
+    com_err("ext4", "dax is incompatible with data=journal");
+    return -EINVAL;
+  }
+  if (noload && !ro) {
+    com_err("ext4", "noload requires a read-only mount");
+    return -EINVAL;
+  }
+  if (journal_async_commit && !journal_checksum) {
+    com_err("ext4", "journal_async_commit requires journal_checksum");
+    return -EINVAL;
+  }
+  if (usrjquota && !jqfmt) {
+    com_err("ext4", "journaled quota requires jqfmt");
+    return -EINVAL;
+  }
+  if (dioread_nolock && data_journal) {
+    com_err("ext4", "dioread_nolock is incompatible with data=journal");
+    return -EINVAL;
+  }
+  if (delalloc && data_journal) {
+    com_err("ext4", "delalloc is incompatible with data=journal");
+    return -EINVAL;
+  }
+  if (nobh && !data_writeback) {
+    com_err("ext4", "nobh only makes sense with data=writeback");
+    return -EINVAL;
+  }
+
+  /* dax needs a page-sized block size; the analyzer correctly refuses to
+   * turn an equality against a derived value into a range (a known false
+   * negative discussed in EXPERIMENTS.md). */
+  if (dax && blocksize != 4096) {
+    return -EINVAL;
+  }
+
+  if (es->s_state != EXT4_VALID_FS) {
+    printf("ext4: warning: mounting unchecked fs");
+  }
+
+  return 0;
+}
+
+/* Group-descriptor level validation, the second half of the mount path. */
+int ext4_check_descriptors(struct ext4_super_block *es) {
+  if (es->s_inodes_per_group < 8 || es->s_inodes_per_group > 65536) {
+    return -EINVAL;
+  }
+  if (es->s_reserved_gdt_blocks > 1024) {
+    return -EINVAL;
+  }
+  if (es->s_log_cluster_size > EXT4_MAX_BLOCK_LOG_SIZE) {
+    return -EINVAL;
+  }
+  if (ext4_has_feature_bigalloc(es)) {
+    printf("ext4: bigalloc enabled");
+  }
+  return 0;
+}
+
+/*
+ * Post-mount bookkeeping. The batch-time relation checked here is dead at
+ * first mount (defaults are clamped earlier); it only matters after the
+ * superblock has been through an offline tool — the ground truth marks
+ * the extraction spurious for the create-and-mount scenario.
+ */
+int ext4_setup_super(struct ext4_super_block *es, long min_batch_time, long max_batch_time) {
+  if (min_batch_time > max_batch_time) {
+    return -EINVAL;
+  }
+  es->s_mnt_count = es->s_mnt_count + 1;
+  if (ext4_has_feature_journal(es)) {
+    printf("ext4: journal enabled");
+  }
+  return 0;
+}
+
+/* Remount: re-validates the mutable option set. */
+int ext4_remount(struct ext4_super_block *es, int data_journal, int auto_da_alloc) {
+  if (data_journal && auto_da_alloc) {
+    com_err("ext4", "auto_da_alloc is incompatible with data=journal");
+    return -EINVAL;
+  }
+  if (!ext4_check_magic(es)) {
+    return -EINVAL;
+  }
+  return 0;
+}
+
+/* Pre-flight checks for the online defragmentation ioctl (e4defrag). */
+int ext4_online_defrag_check(struct ext4_super_block *es, int data_journal, int auto_da_alloc) {
+  if (!ext4_has_feature_extents(es)) {
+    return -EINVAL;
+  }
+  if (data_journal && auto_da_alloc) {
+    com_err("ext4", "auto_da_alloc is incompatible with data=journal");
+    return -EINVAL;
+  }
+  if (ext4_has_feature_inline_data(es)) {
+    printf("ext4: defrag skips inline files");
+  }
+  return 0;
+}
+
+/*
+ * Validation of an unmounted image before offline tools touch it. The
+ * umount step of the resize2fs/e2fsck scenarios routes through here.
+ */
+int ext4_validate_super_offline(struct ext4_super_block *es) {
+  if (es->s_error_count > 65535) {
+    return -EINVAL;
+  }
+  if (es->s_blocks_count < es->s_first_data_block + 8) {
+    return -EINVAL;
+  }
+  if (ext4_has_feature_64bit(es)) {
+    printf("ext4: 64bit image");
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+
+#ifndef EXT4_FS_H
+#define EXT4_FS_H
+
+typedef unsigned char  u8;
+typedef unsigned short u16;
+typedef unsigned int   u32;
+typedef unsigned long  u64;
+
+#define EXT4_SUPER_MAGIC      61267
+#define EXT4_MIN_BLOCK_SIZE   1024
+#define EXT4_MAX_BLOCK_SIZE   65536
+#define EXT4_MAX_BLOCK_LOG_SIZE 6
+#define EXT4_GOOD_OLD_FIRST_INO 11
+#define EXT4_GOOD_OLD_INODE_SIZE 128
+#define EXT4_VALID_FS         1
+#define EXT4_ERROR_FS         2
+
+/* Compatible feature flags (a subset of the real ext4 set). */
+enum ext4_feature_compat {
+  EXT4_FEATURE_COMPAT_DIR_PREALLOC  = 0x0001,
+  EXT4_FEATURE_COMPAT_HAS_JOURNAL   = 0x0004,
+  EXT4_FEATURE_COMPAT_EXT_ATTR      = 0x0008,
+  EXT4_FEATURE_COMPAT_RESIZE_INODE  = 0x0010,
+  EXT4_FEATURE_COMPAT_DIR_INDEX     = 0x0020,
+  EXT4_FEATURE_COMPAT_SPARSE_SUPER2 = 0x0200
+};
+
+/* Incompatible feature flags. */
+enum ext4_feature_incompat {
+  EXT4_FEATURE_INCOMPAT_FILETYPE    = 0x0002,
+  EXT4_FEATURE_INCOMPAT_RECOVER     = 0x0004,
+  EXT4_FEATURE_INCOMPAT_JOURNAL_DEV = 0x0008,
+  EXT4_FEATURE_INCOMPAT_META_BG     = 0x0010,
+  EXT4_FEATURE_INCOMPAT_EXTENTS     = 0x0040,
+  EXT4_FEATURE_INCOMPAT_64BIT       = 0x0080,
+  EXT4_FEATURE_INCOMPAT_FLEX_BG     = 0x0200,
+  EXT4_FEATURE_INCOMPAT_INLINE_DATA = 0x8000,
+  EXT4_FEATURE_INCOMPAT_ENCRYPT     = 0x10000
+};
+
+/* Read-only compatible feature flags. */
+enum ext4_feature_ro_compat {
+  EXT4_FEATURE_RO_COMPAT_SPARSE_SUPER  = 0x0001,
+  EXT4_FEATURE_RO_COMPAT_LARGE_FILE    = 0x0002,
+  EXT4_FEATURE_RO_COMPAT_GDT_CSUM      = 0x0010,
+  EXT4_FEATURE_RO_COMPAT_QUOTA         = 0x0100,
+  EXT4_FEATURE_RO_COMPAT_BIGALLOC      = 0x0200,
+  EXT4_FEATURE_RO_COMPAT_METADATA_CSUM = 0x0400
+};
+
+/*
+ * The ext4 superblock as persisted at offset 1024 of the volume. Every
+ * component of the ecosystem reads or writes (a subset of) these fields;
+ * they are the persistent form of the creation-time configuration.
+ */
+struct ext4_super_block {
+  u32 s_inodes_count;
+  u32 s_blocks_count;
+  u32 s_r_blocks_count;
+  u32 s_free_blocks_count;
+  u32 s_free_inodes_count;
+  u32 s_first_data_block;
+  u32 s_log_block_size;
+  u32 s_log_cluster_size;
+  u32 s_blocks_per_group;
+  u32 s_clusters_per_group;
+  u32 s_inodes_per_group;
+  u32 s_mtime;
+  u32 s_wtime;
+  u16 s_mnt_count;
+  u16 s_max_mnt_count;
+  u16 s_magic;
+  u16 s_state;
+  u16 s_errors;
+  u16 s_minor_rev_level;
+  u32 s_lastcheck;
+  u32 s_checkinterval;
+  u32 s_creator_os;
+  u32 s_rev_level;
+  u16 s_def_resuid;
+  u16 s_def_resgid;
+  u32 s_first_ino;
+  u16 s_inode_size;
+  u16 s_block_group_nr;
+  u32 s_feature_compat;
+  u32 s_feature_incompat;
+  u32 s_feature_ro_compat;
+  u8  s_uuid[16];
+  char s_volume_name[16];
+  u16 s_reserved_gdt_blocks;
+  u16 s_desc_size;
+  u32 s_default_mount_opts;
+  u32 s_mkfs_time;
+  u32 s_backup_bgs[2];
+  u8  s_log_groups_per_flex;
+  u32 s_error_count;
+};
+
+/* Per-group descriptor (trimmed). */
+struct ext4_group_desc {
+  u32 bg_block_bitmap;
+  u32 bg_inode_bitmap;
+  u32 bg_inode_table;
+  u16 bg_free_blocks_count;
+  u16 bg_free_inodes_count;
+  u16 bg_used_dirs_count;
+  u16 bg_flags;
+};
+
+#endif

@@ -1,0 +1,24 @@
+
+#ifndef FSDEP_LIBC_H
+#define FSDEP_LIBC_H
+
+/* Minimal libc surface used by the corpus components. */
+
+char *optarg;
+int optind;
+
+int getopt(int argc, char **argv, const char *optstring);
+long parse_num(char *text);
+long parse_size(char *text);
+long strtol(char *text, char **end, int base);
+int strcmp(const char *a, const char *b);
+int strncmp(const char *a, const char *b, long n);
+long strlen(const char *s);
+int printf(const char *fmt, ...);
+int fprintf_err(const char *fmt, ...);
+void usage(void);
+void fatal_error(const char *msg);
+void com_err(const char *who, const char *msg);
+void exit(int code);
+
+#endif

@@ -1,0 +1,280 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+#define MKE2FS_MIN_INODE_SIZE 128
+#define MKE2FS_MAX_INODE_SIZE 4096
+#define MKE2FS_MIN_INODE_RATIO 1024
+#define MKE2FS_MAX_INODE_RATIO 67108864
+#define MKE2FS_MIN_BLOCKS_PER_GROUP 256
+#define MKE2FS_MAX_BLOCKS_PER_GROUP 65528
+
+/*
+ * Translates a block size in bytes into the on-disk log2 encoding
+ * (1024 << s_log_block_size == block size).
+ */
+static long blocksize_to_log(long blocksize) {
+  long log = 0;
+  long size = 1024;
+  while (size < blocksize) {
+    size = size * 2;
+    log = log + 1;
+  }
+  return log;
+}
+
+/*
+ * Persists the validated configuration into the superblock. This is where
+ * creation-time parameters become on-disk metadata: the shared structure
+ * that later stages (mount, resize2fs, e2fsck) read back.
+ */
+static void mke2fs_write_super(struct ext4_super_block *sb, long fs_blocks, long blocksize,
+                               long inode_size, long reserved_ratio, long blocks_per_group,
+                               long inode_ratio, long revision, long flex_bg_size,
+                               long cluster_size, char *volume_label, long resize_limit,
+                               int meta_bg, int resize_inode, int sparse_super2, int bigalloc,
+                               int extents, int has_64bit, int quota, int has_journal,
+                               int journal_dev, int uninit_bg, int metadata_csum, int flex_bg,
+                               int inline_data, int encrypt) {
+  long i = 0;
+  long label_len = strlen(volume_label);
+
+  sb->s_magic = EXT4_SUPER_MAGIC;
+  sb->s_state = EXT4_VALID_FS;
+  sb->s_rev_level = revision;
+  sb->s_blocks_count = fs_blocks;
+  sb->s_log_block_size = blocksize_to_log(blocksize) ;
+  sb->s_log_cluster_size = blocksize_to_log(cluster_size ? cluster_size : blocksize);
+  sb->s_first_data_block = (blocksize == EXT4_MIN_BLOCK_SIZE) ? 1 : 0;
+  sb->s_inode_size = inode_size;
+  sb->s_blocks_per_group = blocks_per_group;
+  sb->s_clusters_per_group = blocks_per_group;
+  sb->s_inodes_per_group = blocks_per_group * blocksize / inode_ratio;
+  sb->s_inodes_count = fs_blocks / (inode_ratio / blocksize + 1) + 16;
+  sb->s_r_blocks_count = reserved_ratio * 1024;
+  sb->s_free_blocks_count = fs_blocks - 64;
+  sb->s_free_inodes_count = sb->s_inodes_count - 16;
+  sb->s_first_ino = EXT4_GOOD_OLD_FIRST_INO;
+  sb->s_max_mnt_count = 65535;
+  sb->s_mnt_count = 0;
+  sb->s_desc_size = has_64bit ? 64 : 32;
+  sb->s_log_groups_per_flex = flex_bg ? flex_bg_size : 0;
+  sb->s_reserved_gdt_blocks = resize_limit / 1024;
+
+  for (i = 0; i < label_len && i < 15; i = i + 1) {
+    sb->s_volume_name[i] = volume_label[i];
+  }
+
+  /* Feature bitmaps: one data-dependent write per feature so the taint
+   * analysis sees which parameter controls which bit. */
+  sb->s_feature_compat |= (has_journal ? EXT4_FEATURE_COMPAT_HAS_JOURNAL : 0);
+  sb->s_feature_compat |= (resize_inode ? EXT4_FEATURE_COMPAT_RESIZE_INODE : 0);
+  sb->s_feature_compat |= (sparse_super2 ? EXT4_FEATURE_COMPAT_SPARSE_SUPER2 : 0);
+  sb->s_feature_incompat |= (meta_bg ? EXT4_FEATURE_INCOMPAT_META_BG : 0);
+  sb->s_feature_incompat |= (extents ? EXT4_FEATURE_INCOMPAT_EXTENTS : 0);
+  sb->s_feature_incompat |= (has_64bit ? EXT4_FEATURE_INCOMPAT_64BIT : 0);
+  sb->s_feature_incompat |= (flex_bg ? EXT4_FEATURE_INCOMPAT_FLEX_BG : 0);
+  sb->s_feature_incompat |= (inline_data ? EXT4_FEATURE_INCOMPAT_INLINE_DATA : 0);
+  sb->s_feature_incompat |= (encrypt ? EXT4_FEATURE_INCOMPAT_ENCRYPT : 0);
+  sb->s_feature_incompat |= (journal_dev ? EXT4_FEATURE_INCOMPAT_JOURNAL_DEV : 0);
+  sb->s_feature_ro_compat |= (quota ? EXT4_FEATURE_RO_COMPAT_QUOTA : 0);
+  sb->s_feature_ro_compat |= (bigalloc ? EXT4_FEATURE_RO_COMPAT_BIGALLOC : 0);
+  sb->s_feature_ro_compat |= (uninit_bg ? EXT4_FEATURE_RO_COMPAT_GDT_CSUM : 0);
+  sb->s_feature_ro_compat |= (metadata_csum ? EXT4_FEATURE_RO_COMPAT_METADATA_CSUM : 0);
+
+  if (sparse_super2) {
+    sb->s_backup_bgs[0] = 1;
+    sb->s_backup_bgs[1] = fs_blocks / blocks_per_group - 1;
+  }
+}
+
+/*
+ * Entry point: option parsing and validation, mirroring mke2fs(8).
+ */
+int mke2fs_main(int argc, char **argv, struct ext4_super_block *sb) {
+  long blocksize = 4096;
+  long inode_size = 256;
+  long inode_ratio = 16384;
+  long reserved_ratio = 5;
+  long blocks_per_group = 32768;
+  long flex_bg_size = 16;
+  long revision = 1;
+  long cluster_size = 0;
+  long resize_limit = 0;
+  long fs_blocks = 0;
+  char *volume_label = "";
+
+  int meta_bg = 0;
+  int resize_inode = 1;
+  int sparse_super2 = 0;
+  int bigalloc = 0;
+  int extents = 1;
+  int has_64bit = 0;
+  int quota = 0;
+  int has_journal = 1;
+  int journal_dev = 0;
+  int uninit_bg = 0;
+  int metadata_csum = 0;
+  int flex_bg = 1;
+  int inline_data = 0;
+  int encrypt = 0;
+
+  int c = 0;
+
+  while ((c = getopt(argc, argv, "b:I:i:m:g:G:r:C:E:L:O:")) != -1) {
+    switch (c) {
+      case 'b':
+        blocksize = parse_num(optarg);
+        break;
+      case 'I':
+        inode_size = parse_num(optarg);
+        break;
+      case 'i':
+        inode_ratio = parse_num(optarg);
+        break;
+      case 'm':
+        reserved_ratio = parse_num(optarg);
+        break;
+      case 'g':
+        blocks_per_group = parse_num(optarg);
+        break;
+      case 'G':
+        flex_bg_size = parse_num(optarg);
+        break;
+      case 'r':
+        revision = parse_num(optarg);
+        break;
+      case 'C':
+        cluster_size = strtol(optarg, 0, 10);
+        break;
+      case 'E':
+        resize_limit = strtol(optarg, 0, 10);
+        break;
+      case 'L':
+        volume_label = optarg;
+        break;
+      case 'O':
+        if (strcmp(optarg, "meta_bg") == 0) {
+          meta_bg = 1;
+        } else if (strcmp(optarg, "^resize_inode") == 0) {
+          resize_inode = 0;
+        } else if (strcmp(optarg, "sparse_super2") == 0) {
+          sparse_super2 = 1;
+        } else if (strcmp(optarg, "bigalloc") == 0) {
+          bigalloc = 1;
+        } else if (strcmp(optarg, "^extent") == 0) {
+          extents = 0;
+        } else if (strcmp(optarg, "64bit") == 0) {
+          has_64bit = 1;
+        } else if (strcmp(optarg, "quota") == 0) {
+          quota = 1;
+        } else if (strcmp(optarg, "^has_journal") == 0) {
+          has_journal = 0;
+        } else if (strcmp(optarg, "journal_dev") == 0) {
+          journal_dev = 1;
+        } else if (strcmp(optarg, "uninit_bg") == 0) {
+          uninit_bg = 1;
+        } else if (strcmp(optarg, "metadata_csum") == 0) {
+          metadata_csum = 1;
+        } else if (strcmp(optarg, "^flex_bg") == 0) {
+          flex_bg = 0;
+        } else if (strcmp(optarg, "inline_data") == 0) {
+          inline_data = 1;
+        } else if (strcmp(optarg, "encrypt") == 0) {
+          encrypt = 1;
+        }
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  fs_blocks = strtol(argv[optind], 0, 10);
+
+  /* ---- Self-dependencies: each parameter's own domain. ---- */
+  if (blocksize < EXT4_MIN_BLOCK_SIZE || blocksize > EXT4_MAX_BLOCK_SIZE) {
+    usage();
+  }
+  if (inode_size < MKE2FS_MIN_INODE_SIZE || inode_size > MKE2FS_MAX_INODE_SIZE) {
+    usage();
+  }
+  if (inode_ratio < MKE2FS_MIN_INODE_RATIO || inode_ratio > MKE2FS_MAX_INODE_RATIO) {
+    usage();
+  }
+  if (reserved_ratio < 0 || reserved_ratio > 50) {
+    usage();
+  }
+  if (blocks_per_group < MKE2FS_MIN_BLOCKS_PER_GROUP ||
+      blocks_per_group > MKE2FS_MAX_BLOCKS_PER_GROUP) {
+    usage();
+  }
+  if (blocks_per_group % 8) {
+    usage();
+  }
+  if (flex_bg_size & (flex_bg_size - 1)) {
+    usage();
+  }
+  if (revision < 0 || revision > 1) {
+    usage();
+  }
+
+  /* ---- Cross-parameter dependencies: feature interactions. ---- */
+  if (meta_bg && resize_inode) {
+    fatal_error("meta_bg and resize_inode cannot both be enabled");
+  }
+  if (bigalloc && !extents) {
+    fatal_error("bigalloc requires extents");
+  }
+  if (sparse_super2 && resize_inode) {
+    fatal_error("sparse_super2 and resize_inode are incompatible");
+  }
+  if (has_64bit && !extents) {
+    fatal_error("64bit requires extents");
+  }
+  if (quota && !has_journal) {
+    fatal_error("quota requires a journal");
+  }
+  if (journal_dev && has_journal) {
+    fatal_error("journal_dev conflicts with an internal journal");
+  }
+  if (cluster_size && !bigalloc) {
+    fatal_error("-C requires -O bigalloc");
+  }
+  if (uninit_bg && metadata_csum) {
+    fatal_error("uninit_bg and metadata_csum are incompatible");
+  }
+  if (resize_limit && !resize_inode) {
+    fatal_error("-E resize requires resize_inode");
+  }
+  if (flex_bg_size && !flex_bg) {
+    fatal_error("-G requires flex_bg");
+  }
+  if (inline_data && !extents) {
+    fatal_error("inline_data requires extents");
+  }
+  if (encrypt && bigalloc) {
+    fatal_error("encrypt and bigalloc are incompatible");
+  }
+
+  /* ---- Cross-parameter value dependencies. ---- */
+  if (inode_size > blocksize) {
+    fatal_error("inode size cannot exceed the block size");
+  }
+  if (blocks_per_group > blocksize * 8) {
+    fatal_error("blocks per group limited by one bitmap block");
+  }
+  if (cluster_size && cluster_size < blocksize) {
+    fatal_error("cluster size cannot be smaller than the block size");
+  }
+  if (inode_ratio < blocksize) {
+    fatal_error("bytes-per-inode cannot be smaller than the block size");
+  }
+
+  mke2fs_write_super(sb, fs_blocks, blocksize, inode_size, reserved_ratio, blocks_per_group,
+                     inode_ratio, revision, flex_bg_size, cluster_size, volume_label,
+                     resize_limit, meta_bg, resize_inode, sparse_super2, bigalloc, extents,
+                     has_64bit, quota, has_journal, journal_dev, uninit_bg, metadata_csum,
+                     flex_bg, inline_data, encrypt);
+  return 0;
+}

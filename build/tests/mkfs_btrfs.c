@@ -1,0 +1,90 @@
+
+#include "fsdep_libc.h"
+#include "btrfs_fs.h"
+
+/*
+ * mkfs.btrfs: option parsing, validation, superblock fill.
+ */
+int mkfs_btrfs_main(int argc, char **argv, struct btrfs_sb *sb) {
+  long sectorsize = 4096;
+  long nodesize = 16384;
+  long num_devices = 1;
+  long total_bytes = 0;
+  long data_profile = BTRFS_RAID_SINGLE;
+  long meta_profile = BTRFS_RAID_DUP;
+  int mixed_bg = 0;
+  int raid56 = 0;
+  int no_holes = 0;
+  int c = 0;
+
+  while ((c = getopt(argc, argv, "s:n:d:m:M:")) != -1) {
+    switch (c) {
+      case 's':
+        sectorsize = parse_num(optarg);
+        break;
+      case 'n':
+        nodesize = parse_num(optarg);
+        break;
+      case 'd':
+        data_profile = strtol(optarg, 0, 10);
+        break;
+      case 'm':
+        meta_profile = strtol(optarg, 0, 10);
+        break;
+      case 'M':
+        mixed_bg = 1;
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  num_devices = strtol(argv[optind], 0, 10);
+  total_bytes = strtol(argv[optind + 1], 0, 10);
+
+  /* ---- Self dependencies. ---- */
+  if (sectorsize < 4096 || sectorsize > 65536) {
+    usage();
+  }
+  if (nodesize < BTRFS_MIN_NODESIZE || nodesize > BTRFS_MAX_NODESIZE) {
+    usage();
+  }
+  if (nodesize & (nodesize - 1)) {
+    usage();
+  }
+  if (num_devices < 1 || num_devices > 1024) {
+    usage();
+  }
+
+  /* ---- Cross-parameter dependencies. ---- */
+  if (nodesize < sectorsize) {
+    fatal_error("node size cannot be smaller than the sector size");
+  }
+  if (mixed_bg && nodesize != sectorsize) {
+    fatal_error("mixed block groups require nodesize == sectorsize");
+  }
+  if (data_profile == BTRFS_RAID_RAID1 && num_devices < 2) {
+    fatal_error("raid1 data needs at least two devices");
+  }
+  if (data_profile == BTRFS_RAID_RAID5 && num_devices < 3) {
+    fatal_error("raid5 data needs at least three devices");
+  }
+  if (raid56 && !no_holes) {
+    /* historical: raid56 shipped gated on other incompat bits */
+    fatal_error("raid56 requires the no_holes format");
+  }
+
+  /* ---- Persist (the CCD bridge writes). ---- */
+  sb->sb_magicnum = BTRFS_SB_MAGIC;
+  sb->sb_sectorsize = sectorsize;
+  sb->sb_nodesize = nodesize;
+  sb->sb_num_devices = num_devices;
+  sb->sb_total_bytes = total_bytes;
+  sb->sb_data_profile = data_profile;
+  sb->sb_meta_profile = meta_profile;
+  sb->sb_features |= (mixed_bg ? BTRFS_FEAT_MIXED_BG : 0);
+  sb->sb_features |= (raid56 ? BTRFS_FEAT_RAID56 : 0);
+  sb->sb_features |= (no_holes ? BTRFS_FEAT_NO_HOLES : 0);
+  return 0;
+}

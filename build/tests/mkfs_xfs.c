@@ -1,0 +1,113 @@
+
+#include "fsdep_libc.h"
+#include "xfs_fs.h"
+
+/*
+ * mkfs.xfs: option parsing, validation, superblock fill.
+ */
+int mkfs_xfs_main(int argc, char **argv, struct xfs_sb *sb) {
+  long blocksize = 4096;
+  long inodesize = 512;
+  long agcount = 4;
+  long logblocks = 2560;
+  long imaxpct = 25;
+  long fs_blocks = 0;
+  int crc = 1;
+  int ftype = 1;
+  int reflink = 1;
+  int rmapbt = 0;
+  int bigtime = 0;
+  int c = 0;
+
+  while ((c = getopt(argc, argv, "b:i:d:l:p:m:")) != -1) {
+    switch (c) {
+      case 'b':
+        blocksize = parse_num(optarg);
+        break;
+      case 'i':
+        inodesize = parse_num(optarg);
+        break;
+      case 'd':
+        agcount = parse_num(optarg);
+        break;
+      case 'l':
+        logblocks = parse_num(optarg);
+        break;
+      case 'p':
+        imaxpct = parse_num(optarg);
+        break;
+      case 'm':
+        if (strcmp(optarg, "crc=0") == 0) {
+          crc = 0;
+        } else if (strcmp(optarg, "reflink=1") == 0) {
+          reflink = 1;
+        } else if (strcmp(optarg, "reflink=0") == 0) {
+          reflink = 0;
+        } else if (strcmp(optarg, "rmapbt=1") == 0) {
+          rmapbt = 1;
+        } else if (strcmp(optarg, "bigtime=1") == 0) {
+          bigtime = 1;
+        }
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  fs_blocks = strtol(argv[optind], 0, 10);
+
+  /* ---- Self dependencies. ---- */
+  if (blocksize < XFS_MIN_BLOCKSIZE || blocksize > XFS_MAX_BLOCKSIZE) {
+    usage();
+  }
+  if (blocksize & (blocksize - 1)) {
+    usage();
+  }
+  if (inodesize < 256 || inodesize > 2048) {
+    usage();
+  }
+  if (agcount < 1 || agcount > XFS_MAX_AGCOUNT) {
+    usage();
+  }
+  if (logblocks < 512 || logblocks > 1048576) {
+    usage();
+  }
+  if (imaxpct < 0 || imaxpct > 100) {
+    usage();
+  }
+
+  /* ---- Cross-parameter dependencies (the v5 feature matrix). ---- */
+  if (reflink && !crc) {
+    fatal_error("reflink requires the crc (v5) format");
+  }
+  if (rmapbt && !crc) {
+    fatal_error("rmapbt requires the crc (v5) format");
+  }
+  if (bigtime && !crc) {
+    fatal_error("bigtime requires the crc (v5) format");
+  }
+  if (inodesize * 2 > blocksize) {
+    fatal_error("inode size cannot exceed half the block size");
+  }
+  if (fs_blocks < agcount * XFS_MIN_AG_BLOCKS) {
+    fatal_error("too many allocation groups for the device size");
+  }
+
+  /* ---- Persist the configuration (the CCD bridge writes). ---- */
+  sb->sb_magicnum = XFS_SB_MAGIC;
+  sb->sb_blocksize = blocksize;
+  sb->sb_dblocks = fs_blocks;
+  sb->sb_agcount = agcount;
+  sb->sb_agblocks = fs_blocks / agcount;
+  sb->sb_inodesize = inodesize;
+  sb->sb_logblocks = logblocks;
+  sb->sb_imax_pct = imaxpct;
+  sb->sb_fdblocks = fs_blocks - logblocks - 64;
+  sb->sb_features |= (crc ? XFS_FEAT_CRC : 0);
+  sb->sb_features |= (ftype ? XFS_FEAT_FTYPE : 0);
+  sb->sb_features |= (reflink ? XFS_FEAT_REFLINK : 0);
+  sb->sb_features |= (rmapbt ? XFS_FEAT_RMAPBT : 0);
+  sb->sb_features |= (bigtime ? XFS_FEAT_BIGTIME : 0);
+  return 0;
+}

@@ -1,0 +1,55 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+/* Extracts the value part of an "opt=value" token, or 0. */
+static char *mount_opt_value(char *token) {
+  long i = 0;
+  while (token[i]) {
+    if (token[i] == '=') {
+      return token + i + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+/*
+ * Entry point: parses "-o option[,option...]" style arguments (pre-split
+ * into argv entries by the caller) and invokes the mount syscall shim.
+ */
+int mount_main(int argc, char **argv) {
+  int dax = 0;
+  int ro = 0;
+  int noload = 0;
+  long commit_interval = 0;
+  int i = 0;
+
+  for (i = 1; i < argc; i = i + 1) {
+    if (strcmp(argv[i], "dax") == 0) {
+      dax = 1;
+    } else if (strcmp(argv[i], "ro") == 0) {
+      ro = 1;
+    } else if (strcmp(argv[i], "noload") == 0) {
+      noload = 1;
+    } else if (strncmp(argv[i], "commit=", 7) == 0) {
+      commit_interval = parse_num(mount_opt_value(argv[i]));
+    }
+  }
+
+  /* User-level sanity check duplicating the kernel's (see
+   * ext4_parse_options); same dependency, found twice, counted once. */
+  if (commit_interval < 1 || commit_interval > 300) {
+    fatal_error("commit interval out of range");
+  }
+
+  return do_mount_syscall(dax, ro, noload, commit_interval);
+}
+
+/* Thin shim standing in for mount(2). */
+int do_mount_syscall(int dax, int ro, int noload, long commit_interval) {
+  if (dax + ro + noload + commit_interval < 0) {
+    return -1;
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+
+#include "fsdep_libc.h"
+#include "ext4_fs.h"
+
+#define RESIZE_RESERVED_SLACK 256
+
+/* True when the image was not cleanly unmounted. */
+static int resize_fs_is_dirty(struct ext4_super_block *sb) {
+  return sb->s_state != EXT4_VALID_FS;
+}
+
+/* Minimum shrink target computed from the current allocation. */
+static long resize_calc_min_size(struct ext4_super_block *sb) {
+  return sb->s_blocks_count - sb->s_free_blocks_count + 64;
+}
+
+/*
+ * Geometry validation before any resize work starts.
+ */
+int resize2fs_check_geometry(struct ext4_super_block *sb, long new_blocks, int online,
+                             int force) {
+  long min_blocks = sb->s_r_blocks_count + RESIZE_RESERVED_SLACK;
+
+  if (new_blocks < min_blocks) {
+    fatal_error("target size below the reserved minimum");
+    return -1;
+  }
+  if (online && !(sb->s_feature_compat & EXT4_FEATURE_COMPAT_RESIZE_INODE)) {
+    fatal_error("online growing requires the resize_inode feature");
+    return -1;
+  }
+  if (!force && resize_fs_is_dirty(sb)) {
+    fatal_error("filesystem is dirty; run e2fsck or use -f");
+    return -1;
+  }
+  return 0;
+}
+
+/*
+ * Recomputes the free-block accounting of the last block group after the
+ * block count changed. With sparse_super2, the historical bug computed
+ * the last group's free count BEFORE the new blocks were added (paper
+ * Figure 1); the simulator in src/fsim reproduces the corruption, this
+ * corpus mirrors the code shape the analyzer sees.
+ */
+void resize2fs_adjust_last_group(struct ext4_super_block *sb, long added_blocks) {
+  long last_free = 0;
+  if (sb->s_feature_compat & EXT4_FEATURE_COMPAT_SPARSE_SUPER2) {
+    last_free = sb->s_free_blocks_count;
+    sb->s_free_blocks_count = last_free + added_blocks;
+  } else {
+    sb->s_free_blocks_count = sb->s_free_blocks_count + added_blocks;
+  }
+}
+
+/* Human-readable summary printed before the work starts. */
+void resize2fs_print_summary(struct ext4_super_block *sb, long new_blocks) {
+  if (sb->s_volume_name[0]) {
+    printf("resizing labelled filesystem");
+  }
+  printf("target block count set");
+}
+
+static void resize2fs_grow(struct ext4_super_block *sb, long new_blocks) {
+  long added = new_blocks - sb->s_blocks_count;
+  sb->s_blocks_count = new_blocks;
+  resize2fs_adjust_last_group(sb, added);
+}
+
+static void resize2fs_shrink(struct ext4_super_block *sb, long new_blocks) {
+  long min_size = resize_calc_min_size(sb);
+  if (new_blocks < min_size) {
+    fatal_error("cannot shrink below the allocated size");
+    return;
+  }
+  sb->s_blocks_count = new_blocks;
+}
+
+/*
+ * Entry point: the size argument is given in bytes/sectors and converted
+ * using the block size mke2fs chose — a cross-component value dependency
+ * the extractor finds through the s_log_block_size bridge.
+ */
+int resize2fs_main(int argc, char **argv, struct ext4_super_block *sb) {
+  long new_blocks = 0;
+  int online = 0;
+  int force = 0;
+  int minimize = 0;
+  int c = 0;
+  long size_spec = 0;
+
+  while ((c = getopt(argc, argv, "Mfo")) != -1) {
+    switch (c) {
+      case 'M':
+        minimize = 1;
+        break;
+      case 'f':
+        force = 1;
+        break;
+      case 'o':
+        online = 1;
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  size_spec = parse_size(argv[optind]);
+  new_blocks = size_spec >> sb->s_log_block_size;
+
+  if (minimize) {
+    new_blocks = resize_calc_min_size(sb);
+  }
+
+  if (resize2fs_check_geometry(sb, new_blocks, online, force) < 0) {
+    return 1;
+  }
+
+  resize2fs_print_summary(sb, new_blocks);
+
+  if (new_blocks == sb->s_blocks_count) {
+    printf("nothing to do");
+    return 0;
+  }
+
+  if (new_blocks > sb->s_blocks_count) {
+    resize2fs_grow(sb, new_blocks);
+  } else {
+    resize2fs_shrink(sb, new_blocks);
+  }
+
+  return 0;
+}

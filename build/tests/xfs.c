@@ -1,0 +1,91 @@
+
+#include "fsdep_libc.h"
+#include "xfs_fs.h"
+
+#define EINVAL 22
+
+static int xfs_sb_good_magic(struct xfs_sb *sb) {
+  return sb->sb_magicnum == XFS_SB_MAGIC;
+}
+
+static int xfs_has_rmapbt(struct xfs_sb *sb) {
+  return sb->sb_features & XFS_FEAT_RMAPBT;
+}
+
+/* Extracts the value part of an "opt=value" token, or 0. */
+static char *xfs_opt_value(char *token) {
+  long i = 0;
+  while (token[i]) {
+    if (token[i] == '=') {
+      return token + i + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+/*
+ * Mount option parsing (xfs_parseargs in the real kernel).
+ */
+int xfs_parse_options(int argc, char **argv) {
+  long logbufs = 8;
+  long logbsize = 32768;
+  int wsync = 0;
+  int noalign = 0;
+  int norecovery = 0;
+  int ro = 0;
+  int i = 0;
+
+  for (i = 1; i < argc; i = i + 1) {
+    if (strncmp(argv[i], "logbufs=", 8) == 0) {
+      logbufs = parse_num(xfs_opt_value(argv[i]));
+    } else if (strncmp(argv[i], "logbsize=", 9) == 0) {
+      logbsize = parse_num(xfs_opt_value(argv[i]));
+    } else if (strcmp(argv[i], "wsync") == 0) {
+      wsync = 1;
+    } else if (strcmp(argv[i], "noalign") == 0) {
+      noalign = 1;
+    } else if (strcmp(argv[i], "norecovery") == 0) {
+      norecovery = 1;
+    } else if (strcmp(argv[i], "ro") == 0) {
+      ro = 1;
+    }
+  }
+
+  if (logbufs < 2 || logbufs > 8) {
+    return -EINVAL;
+  }
+  if (logbsize < 16384 || logbsize > 262144) {
+    return -EINVAL;
+  }
+  if (norecovery && !ro) {
+    com_err("xfs", "norecovery requires a read-only mount");
+    return -EINVAL;
+  }
+  return wsync + noalign >= 0 ? 0 : -1;
+}
+
+/*
+ * Superblock validation at mount (xfs_validate_sb_common).
+ */
+int xfs_mount_validate_sb(struct xfs_sb *sb) {
+  if (!xfs_sb_good_magic(sb)) {
+    return -EINVAL;
+  }
+  if (sb->sb_blocksize < XFS_MIN_BLOCKSIZE || sb->sb_blocksize > XFS_MAX_BLOCKSIZE) {
+    return -EINVAL;
+  }
+  if (sb->sb_inodesize < 256 || sb->sb_inodesize > 2048) {
+    return -EINVAL;
+  }
+  if (sb->sb_agcount < 1) {
+    return -EINVAL;
+  }
+  if (sb->sb_imax_pct > 100) {
+    return -EINVAL;
+  }
+  if (sb->sb_dblocks < sb->sb_agblocks) {
+    return -EINVAL;
+  }
+  return 0;
+}

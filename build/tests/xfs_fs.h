@@ -1,0 +1,40 @@
+
+#ifndef XFS_FS_H
+#define XFS_FS_H
+
+typedef unsigned char  u8;
+typedef unsigned short u16;
+typedef unsigned int   u32;
+typedef unsigned long  u64;
+
+#define XFS_SB_MAGIC 1481003842
+#define XFS_MIN_BLOCKSIZE 512
+#define XFS_MAX_BLOCKSIZE 65536
+#define XFS_MIN_AG_BLOCKS 64
+#define XFS_MAX_AGCOUNT 1000000
+
+/* Feature flags (xfs v5-era, trimmed). */
+enum xfs_features {
+  XFS_FEAT_CRC     = 0x0001,
+  XFS_FEAT_FTYPE   = 0x0002,
+  XFS_FEAT_REFLINK = 0x0004,
+  XFS_FEAT_RMAPBT  = 0x0008,
+  XFS_FEAT_BIGTIME = 0x0010
+};
+
+/* The XFS superblock (trimmed to the configuration-relevant fields). */
+struct xfs_sb {
+  u32 sb_magicnum;
+  u32 sb_blocksize;
+  u32 sb_dblocks;
+  u32 sb_agblocks;
+  u32 sb_agcount;
+  u32 sb_logblocks;
+  u16 sb_inodesize;
+  u16 sb_sectsize;
+  u8  sb_imax_pct;
+  u32 sb_fdblocks;
+  u32 sb_features;
+};
+
+#endif

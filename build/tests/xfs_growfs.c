@@ -1,0 +1,52 @@
+
+#include "fsdep_libc.h"
+#include "xfs_fs.h"
+
+/*
+ * xfs_growfs: online growing. XFS famously cannot shrink; the grow path
+ * extends the last allocation group and appends new ones, both decisions
+ * gated by mkfs.xfs-era geometry read back from the superblock.
+ */
+int xfs_growfs_main(int argc, char **argv, struct xfs_sb *sb) {
+  long new_dblocks = 0;
+  int dry_run = 0;
+  int c = 0;
+  long size_spec = 0;
+
+  while ((c = getopt(argc, argv, "n")) != -1) {
+    switch (c) {
+      case 'n':
+        dry_run = 1;
+        break;
+      default:
+        usage();
+        break;
+    }
+  }
+
+  size_spec = parse_size(argv[optind]);
+  new_dblocks = size_spec / sb->sb_blocksize;
+
+  if (new_dblocks < sb->sb_dblocks) {
+    fatal_error("xfs_growfs: shrinking is not supported");
+    return -1;
+  }
+
+  if (sb->sb_features & XFS_FEAT_RMAPBT) {
+    printf("growfs: extending the reverse-mapping btree per AG");
+  }
+
+  if (dry_run) {
+    printf("growfs: dry run, no changes written");
+    return 0;
+  }
+
+  if (new_dblocks == sb->sb_dblocks) {
+    printf("growfs: nothing to do");
+    return 0;
+  }
+
+  sb->sb_dblocks = new_dblocks;
+  sb->sb_fdblocks = sb->sb_fdblocks + (new_dblocks - sb->sb_dblocks);
+  return 0;
+}
