@@ -59,6 +59,51 @@ void BM_TaintAnalysis(benchmark::State& state, bool inter) {
 BENCHMARK_CAPTURE(BM_TaintAnalysis, intra, false);
 BENCHMARK_CAPTURE(BM_TaintAnalysis, inter, true);
 
+// --- Fixpoint state merge ---------------------------------------------
+
+// The successor-edge merge is the hot inner loop of the fixpoint; this
+// measures TaintState::mergeFrom directly on synthetic states (range(0)
+// tracked objects, interleaved label sets so both the "insert missing
+// key" and "union into existing key" paths run).
+taint::TaintState makeSyntheticState(std::size_t keys, taint::LabelId label_offset) {
+  taint::TaintState state;
+  for (std::size_t k = 0; k < keys; ++k) {
+    taint::LabelSet& labels = state.fields[static_cast<taint::FieldKeyId>(k)];
+    for (taint::LabelId id = 0; id < 48; id += 3) {
+      labels.insert(id + label_offset + static_cast<taint::LabelId>(k % 5));
+    }
+  }
+  return state;
+}
+
+void BM_TaintStateMerge(benchmark::State& state) {
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  const taint::TaintState base = makeSyntheticState(keys, 0);
+  // Half-overlapping keys and shifted labels: every merge exercises
+  // growth, copy-insert and no-op paths together.
+  taint::TaintState incoming = makeSyntheticState(keys + keys / 2, 1);
+  for (auto _ : state) {
+    taint::TaintState dst = base;
+    benchmark::DoNotOptimize(dst.mergeFrom(incoming));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * keys));
+}
+BENCHMARK(BM_TaintStateMerge)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TaintStateMergeSaturated(benchmark::State& state) {
+  // Steady-state fixpoint behavior: the destination already contains
+  // everything, so mergeFrom must detect "no growth" as fast as possible.
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  const taint::TaintState incoming = makeSyntheticState(keys, 0);
+  taint::TaintState dst = makeSyntheticState(keys, 0);
+  dst.mergeFrom(incoming);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dst.mergeFrom(incoming));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * keys));
+}
+BENCHMARK(BM_TaintStateMergeSaturated)->Arg(8)->Arg(64)->Arg(512);
+
 // --- End-to-end extraction --------------------------------------------
 
 void BM_ScenarioExtraction(benchmark::State& state) {

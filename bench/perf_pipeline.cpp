@@ -1,0 +1,69 @@
+// Serial-vs-parallel pipeline benchmarks (google-benchmark).
+//
+// The baseline reproduces the seed pipeline exactly: one thread, no
+// component cache, so every corpus component is re-lexed/re-parsed/
+// re-resolved once per scenario (15 frontend runs per Table 5). The
+// other configurations turn on the parse-once ComponentCache and the
+// ThreadPool, separately and together, so the report attributes the
+// speedup to each. scripts/bench_compare.sh runs this binary and emits
+// BENCH_pipeline.json.
+#include <benchmark/benchmark.h>
+
+#include "corpus/pipeline.h"
+#include "support/thread_pool.h"
+
+using namespace fsdep;
+
+namespace {
+
+void runTable5Bench(benchmark::State& state, std::size_t jobs, bool use_cache) {
+  const corpus::PipelineOptions pipeline{.jobs = jobs, .use_cache = use_cache};
+  if (use_cache) {
+    // Warm the cache outside the timed region: the steady-state cost is
+    // what Table 5 consumers see after the first scenario of a process.
+    benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["cache"] = use_cache ? 1.0 : 0.0;
+}
+
+// The seed's behavior: serial, re-parse per scenario.
+void BM_Table5SeedSerial(benchmark::State& state) { runTable5Bench(state, 1, false); }
+BENCHMARK(BM_Table5SeedSerial)->Unit(benchmark::kMillisecond);
+
+// Cache only (still one thread) — isolates the parse-once win.
+void BM_Table5CachedSerial(benchmark::State& state) { runTable5Bench(state, 1, true); }
+BENCHMARK(BM_Table5CachedSerial)->Unit(benchmark::kMillisecond);
+
+// Cache + N workers — the default production configuration.
+void BM_Table5Parallel(benchmark::State& state) {
+  runTable5Bench(state, static_cast<std::size_t>(state.range(0)), true);
+}
+BENCHMARK(BM_Table5Parallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Parallel without the cache: thread scaling alone, for the report's
+// attribution column (on a single-core container this tracks the seed).
+void BM_Table5ParallelNoCache(benchmark::State& state) {
+  runTable5Bench(state, static_cast<std::size_t>(state.range(0)), false);
+}
+BENCHMARK(BM_Table5ParallelNoCache)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Single scenario, the interactive `fsdep extract --scenario` path.
+void BM_ScenarioSeedVsCached(benchmark::State& state, bool use_cache) {
+  const auto scenarios = corpus::scenarios();
+  const corpus::Scenario& s3 = scenarios.at(2);
+  const corpus::PipelineOptions pipeline{.jobs = 1, .use_cache = use_cache};
+  if (use_cache) benchmark::DoNotOptimize(corpus::runScenario(s3, {}, nullptr, pipeline));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::runScenario(s3, {}, nullptr, pipeline));
+  }
+}
+BENCHMARK_CAPTURE(BM_ScenarioSeedVsCached, seed, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScenarioSeedVsCached, cached, true)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

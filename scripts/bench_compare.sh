@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build and run the serial-vs-parallel pipeline benchmark and emit the
+# results as BENCH_pipeline.json (google-benchmark JSON format) in the
+# repo root. BM_Table5SeedSerial is the seed pipeline's behavior (one
+# thread, no component cache); compare it against BM_Table5Parallel/4
+# for the end-to-end speedup reported in EXPERIMENTS.md.
+# Usage: scripts/bench_compare.sh [builddir] [out.json]
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+OUT=${2:-"$ROOT/BENCH_pipeline.json"}
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j "$(nproc)" --target perf_pipeline
+
+"$BUILD/bench/perf_pipeline" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "wrote $OUT"

@@ -1,11 +1,33 @@
 #!/bin/sh
-# Configure, build and run the test suite under ASan+UBSan
-# (the FSDEP_SANITIZE CMake option). Usage: scripts/check_sanitize.sh [builddir]
+# Configure, build and run the test suite under sanitizers:
+#   1. ASan+UBSan over the full suite (FSDEP_SANITIZE=address), and
+#   2. TSan over the concurrency-sensitive tests (FSDEP_SANITIZE=thread):
+#      the thread pool, the parse-once component cache, the parallel
+#      pipeline determinism suite and the corpus/pipeline integration
+#      tests that drive them.
+# Usage: scripts/check_sanitize.sh [builddir-prefix]
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD=${1:-"$ROOT/build-sanitize"}
+PREFIX=${1:-"$ROOT/build-sanitize"}
+JOBS=$(nproc)
 
-cmake -B "$BUILD" -S "$ROOT" -DFSDEP_SANITIZE=ON
-cmake --build "$BUILD" -j "$(nproc)"
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+echo "== ASan+UBSan: full test suite =="
+cmake -B "$PREFIX" -S "$ROOT" -DFSDEP_SANITIZE=address
+cmake --build "$PREFIX" -j "$JOBS"
+ctest --test-dir "$PREFIX" --output-on-failure -j "$JOBS"
+
+echo "== TSan: concurrency tests =="
+cmake -B "$PREFIX-tsan" -S "$ROOT" -DFSDEP_SANITIZE=thread
+cmake --build "$PREFIX-tsan" -j "$JOBS" \
+  --target thread_pool_test component_cache_test pipeline_determinism_test \
+           pipeline_test corpus_test
+# Force multi-threaded execution even on single-core machines so TSan
+# actually sees cross-thread interleavings.
+for t in thread_pool_test component_cache_test pipeline_determinism_test \
+         pipeline_test corpus_test; do
+  echo "-- $t (FSDEP_JOBS=4)"
+  FSDEP_JOBS=4 "$PREFIX-tsan/tests/$t"
+done
+
+echo "sanitize: all clean"

@@ -21,6 +21,7 @@
 
 #include "ast/dump.h"
 #include "corpus/pipeline.h"
+#include "support/thread_pool.h"
 #include "fsim/fsck.h"
 #include "fsim/mkfs.h"
 #include "fsim/mount.h"
@@ -41,6 +42,12 @@ using namespace fsdep;
 int usage() {
   std::puts(
       "usage: fsdep <command> [options]\n"
+      "\n"
+      "global options (every command):\n"
+      "  --jobs N   analyze N (scenario x component) pairs concurrently\n"
+      "             (default: FSDEP_JOBS env var, else hardware threads)\n"
+      "  --stats    print pipeline perf counters (parse/analyze/extract\n"
+      "             time, cache hits, fixpoint merges) to stderr\n"
       "\n"
       "commands:\n"
       "  extract    run the static analyzer over the corpus and print the\n"
@@ -372,6 +379,36 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  // Global options, accepted by every command and stripped before
+  // dispatch. --jobs overrides the FSDEP_JOBS environment variable;
+  // --stats prints pipeline perf counters to stderr on exit.
+  struct StatsPrinter {
+    bool enabled = false;
+    ~StatsPrinter() {
+      if (enabled) std::fputs(corpus::pipelineStatsSnapshot().format().c_str(), stderr);
+    }
+  } stats_printer;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--stats") {
+      stats_printer.enabled = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (args[i] == "--jobs" && i + 1 < args.size()) {
+      const unsigned long jobs = std::strtoul(args[i + 1].c_str(), nullptr, 10);
+      if (jobs == 0) {
+        std::fprintf(stderr, "--jobs needs a positive integer, got '%s'\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      ThreadPool::setGlobalJobs(static_cast<std::size_t>(jobs));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    ++i;
+  }
 
   try {
     if (command == "extract") return cmdExtract(args);

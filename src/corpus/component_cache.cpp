@@ -1,0 +1,101 @@
+#include "corpus/component_cache.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "ast/parser.h"
+#include "corpus/corpus.h"
+#include "lex/preprocessor.h"
+
+namespace fsdep::corpus {
+
+std::shared_ptr<const ComponentEntry> ComponentCache::build(
+    const std::string& name, const taint::AnalysisOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  auto entry = std::make_shared<ComponentEntry>();
+  entry->name = name;
+  entry->is_kernel = isKernelComponent(name);
+  entry->options = options;
+
+  const std::string_view source = componentSource(name);
+  if (source.empty()) throw std::runtime_error("unknown corpus component: " + name);
+
+  const FileId file = entry->sm.addBuffer(name + ".c", std::string(source));
+  lex::Preprocessor pp(entry->sm, entry->diags,
+                       [](std::string_view header) { return headerSource(header); });
+  std::vector<lex::Token> tokens = pp.tokenize(file);
+  if (entry->diags.hasErrors()) {
+    throw std::runtime_error("corpus preprocessing failed for " + name + ":\n" +
+                             entry->diags.render(entry->sm));
+  }
+
+  ast::Parser parser(std::move(tokens), entry->diags);
+  entry->tu = parser.parseTranslationUnit(name + ".c");
+  if (entry->diags.hasErrors()) {
+    throw std::runtime_error("corpus parse failed for " + name + ":\n" +
+                             entry->diags.render(entry->sm));
+  }
+
+  entry->sema = std::make_unique<sema::Sema>(*entry->tu, entry->diags);
+  if (!entry->sema->run()) {
+    throw std::runtime_error("corpus sema failed for " + name + ":\n" +
+                             entry->diags.render(entry->sm));
+  }
+
+  entry->seeds = componentSeeds(name);
+  entry->parse_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+  return entry;
+}
+
+std::shared_ptr<const ComponentEntry> ComponentCache::get(
+    const std::string& name, const taint::AnalysisOptions& options, bool* built) {
+  std::shared_future<std::shared_ptr<const ComponentEntry>> future;
+  std::promise<std::shared_ptr<const ComponentEntry>> promise;
+  bool is_builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end() && it->second.options == options) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second.future;
+    } else {
+      // First request, or an options mismatch: (re)build. Prior waiters
+      // keep their shared_future; this slot now serves the new options.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      future = promise.get_future().share();
+      slots_[name] = Slot{options, future};
+      is_builder = true;
+    }
+  }
+
+  if (built != nullptr) *built = is_builder;
+  if (is_builder) {
+    try {
+      promise.set_value(build(name, options));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows the builder's exception for every waiter
+}
+
+std::size_t ComponentCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void ComponentCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+ComponentCache& ComponentCache::global() {
+  static ComponentCache cache;
+  return cache;
+}
+
+}  // namespace fsdep::corpus

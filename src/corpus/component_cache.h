@@ -1,0 +1,86 @@
+// Parse-once component cache. The seed pipeline re-lexed, re-parsed and
+// re-resolved every corpus component once per scenario — four times per
+// Table 5 run. Each component is instead parsed exactly once per process
+// and the immutable frontend results (SourceManager, AST, Sema) are
+// shared across scenarios and threads; only the taint analysis, whose
+// state is per-run, is re-executed per (scenario x component) pair.
+//
+// Concurrency: the first requester of a component parses it; concurrent
+// requesters block on a shared future and get the same entry (one parse,
+// N consumers). Entries are keyed by component name and remember the
+// AnalysisOptions they were built under — a request with different
+// options invalidates the entry and rebuilds, so ablation runs never
+// accidentally share state with default-option runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+#include "taint/analyzer.h"
+
+namespace fsdep::corpus {
+
+/// One corpus component lexed, parsed, resolved and seeded — immutable
+/// after construction, safe to share across threads. Taint analyzers are
+/// built per consumer on top of the shared TU/Sema.
+struct ComponentEntry {
+  std::string name;
+  bool is_kernel = false;
+  taint::AnalysisOptions options;  ///< options this entry was built under
+  SourceManager sm;
+  DiagnosticEngine diags;
+  std::unique_ptr<ast::TranslationUnit> tu;
+  std::unique_ptr<sema::Sema> sema;
+  std::vector<taint::Seed> seeds;
+  std::uint64_t parse_ns = 0;  ///< wall time of lex+parse+sema
+};
+
+class ComponentCache {
+ public:
+  /// Returns the shared entry for `name`, parsing it first if this is
+  /// the first request (or the cached entry was built under different
+  /// AnalysisOptions). Throws std::runtime_error for unknown components
+  /// or corpus frontend bugs. `built` (optional) is set to true when
+  /// this call did the parse, false when it reused or waited on one.
+  std::shared_ptr<const ComponentEntry> get(const std::string& name,
+                                            const taint::AnalysisOptions& options,
+                                            bool* built = nullptr);
+
+  /// Parses a component without touching any cache (the seed's
+  /// per-scenario behavior; benchmarks use this as the baseline).
+  static std::shared_ptr<const ComponentEntry> build(const std::string& name,
+                                                     const taint::AnalysisOptions& options);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+  /// Process-wide cache used by AnalyzedComponent and the pipeline.
+  static ComponentCache& global();
+
+ private:
+  struct Slot {
+    taint::AnalysisOptions options;
+    std::shared_future<std::shared_ptr<const ComponentEntry>> future;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace fsdep::corpus

@@ -1,101 +1,258 @@
 #include "corpus/pipeline.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
-#include "ast/parser.h"
-#include "lex/preprocessor.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace fsdep::corpus {
 
-AnalyzedComponent::AnalyzedComponent(std::string name, const taint::AnalysisOptions& taint_options)
-    : name_(std::move(name)), is_kernel_(isKernelComponent(name_)) {
-  const std::string_view source = componentSource(name_);
-  if (source.empty()) throw std::runtime_error("unknown corpus component: " + name_);
+namespace {
 
-  const FileId file = sm_.addBuffer(name_ + ".c", std::string(source));
-  lex::Preprocessor pp(sm_, diags_, [](std::string_view header) { return headerSource(header); });
-  std::vector<lex::Token> tokens = pp.tokenize(file);
-  if (diags_.hasErrors()) {
-    throw std::runtime_error("corpus preprocessing failed for " + name_ + ":\n" +
-                             diags_.render(sm_));
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsedNs(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+}
+
+/// Process-global perf accumulators; every field is monotonic except
+/// `jobs`, which records the width of the most recent parallel section.
+struct StatsRegistry {
+  std::atomic<std::uint64_t> analyze_ns{0};
+  std::atomic<std::uint64_t> extract_ns{0};
+  std::atomic<std::uint64_t> uncached_parse_ns{0};
+  std::atomic<std::uint64_t> components_analyzed{0};
+  std::atomic<std::uint64_t> merge_calls{0};
+  std::atomic<std::uint64_t> merge_grew{0};
+  std::atomic<std::uint64_t> cached_parse_ns{0};  ///< parse time of cache misses we triggered
+  std::atomic<std::size_t> jobs{1};
+};
+
+StatsRegistry& statsRegistry() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+std::size_t resolveJobs(const PipelineOptions& pipeline) {
+  return pipeline.jobs == 0 ? ThreadPool::globalJobs() : pipeline.jobs;
+}
+
+}  // namespace
+
+AnalyzedComponent::AnalyzedComponent(std::string name,
+                                     const taint::AnalysisOptions& taint_options,
+                                     bool use_cache) {
+  if (use_cache) {
+    bool built = false;
+    entry_ = ComponentCache::global().get(name, taint_options, &built);
+    if (built) {
+      statsRegistry().cached_parse_ns.fetch_add(entry_->parse_ns, std::memory_order_relaxed);
+    }
+  } else {
+    entry_ = ComponentCache::build(name, taint_options);
+    statsRegistry().uncached_parse_ns.fetch_add(entry_->parse_ns, std::memory_order_relaxed);
   }
-
-  ast::Parser parser(std::move(tokens), diags_);
-  tu_ = parser.parseTranslationUnit(name_ + ".c");
-  if (diags_.hasErrors()) {
-    throw std::runtime_error("corpus parse failed for " + name_ + ":\n" + diags_.render(sm_));
-  }
-
-  sema_ = std::make_unique<sema::Sema>(*tu_, diags_);
-  if (!sema_->run()) {
-    throw std::runtime_error("corpus sema failed for " + name_ + ":\n" + diags_.render(sm_));
-  }
-
-  analyzer_ = std::make_unique<taint::Analyzer>(*tu_, *sema_, taint_options);
-  for (taint::Seed& seed : componentSeeds(name_)) {
-    analyzer_->addSeed(std::move(seed));
+  analyzer_ = std::make_unique<taint::Analyzer>(*entry_->tu, *entry_->sema, taint_options);
+  for (const taint::Seed& seed : entry_->seeds) {
+    analyzer_->addSeed(seed);
   }
 }
 
 void AnalyzedComponent::analyze(const std::vector<std::string>& function_names) {
   std::vector<const ast::FunctionDecl*> fns;
   for (const std::string& fn_name : function_names) {
-    const ast::FunctionDecl* fn = tu_->findFunction(fn_name);
+    const ast::FunctionDecl* fn = entry_->tu->findFunction(fn_name);
     if (fn == nullptr || !fn->isDefinition()) {
-      throw std::runtime_error("corpus: no function '" + fn_name + "' in " + name_);
+      throw std::runtime_error("corpus: no function '" + fn_name + "' in " + entry_->name);
     }
     fns.push_back(fn);
   }
+  const auto start = Clock::now();
   analyzer_->run(fns);
+  StatsRegistry& stats = statsRegistry();
+  stats.analyze_ns.fetch_add(elapsedNs(start), std::memory_order_relaxed);
+  stats.components_analyzed.fetch_add(1, std::memory_order_relaxed);
+  stats.merge_calls.fetch_add(analyzer_->mergeCalls(), std::memory_order_relaxed);
+  stats.merge_grew.fetch_add(analyzer_->mergeGrew(), std::memory_order_relaxed);
 }
 
 extract::ComponentRun AnalyzedComponent::asRun() const {
   extract::ComponentRun run;
-  run.component = name_;
-  run.is_kernel = is_kernel_;
+  run.component = entry_->name;
+  run.is_kernel = entry_->is_kernel;
   run.analyzer = analyzer_.get();
-  run.sema = sema_.get();
+  run.sema = entry_->sema.get();
   return run;
 }
 
+namespace {
+
+/// Analyzes every (component, functions) pair of `scenario` — in
+/// parallel when jobs > 1 — and returns the components in selection
+/// order (the order extraction must consume them in).
+std::vector<std::unique_ptr<AnalyzedComponent>> analyzeScenarioComponents(
+    const Scenario& scenario, const taint::AnalysisOptions& taint_options,
+    const PipelineOptions& pipeline) {
+  struct Item {
+    const std::string* component;
+    const std::vector<std::string>* functions;
+  };
+  std::vector<Item> items;
+  items.reserve(scenario.selection.size());
+  for (const auto& [component, functions] : scenario.selection) {
+    items.push_back(Item{&component, &functions});
+  }
+
+  std::vector<std::unique_ptr<AnalyzedComponent>> components(items.size());
+  ThreadPool::parallelFor(items.size(), resolveJobs(pipeline), [&](std::size_t i) {
+    auto analyzed = std::make_unique<AnalyzedComponent>(*items[i].component, taint_options,
+                                                        pipeline.use_cache);
+    analyzed->analyze(*items[i].functions);
+    components[i] = std::move(analyzed);
+  });
+  return components;
+}
+
+std::vector<model::Dependency> extractFrom(
+    const std::vector<std::unique_ptr<AnalyzedComponent>>& components,
+    const extract::ExtractOptions& options) {
+  std::vector<extract::ComponentRun> runs;
+  runs.reserve(components.size());
+  for (const auto& component : components) runs.push_back(component->asRun());
+  const auto start = Clock::now();
+  std::vector<model::Dependency> deps = extract::extractDependencies(runs, options);
+  statsRegistry().extract_ns.fetch_add(elapsedNs(start), std::memory_order_relaxed);
+  return deps;
+}
+
+}  // namespace
+
 std::vector<model::Dependency> runScenario(const Scenario& scenario,
                                            const taint::AnalysisOptions& taint_options,
-                                           const extract::ExtractOptions* extract_override) {
-  std::vector<std::unique_ptr<AnalyzedComponent>> components;
-  std::vector<extract::ComponentRun> runs;
-  for (const auto& [component, functions] : scenario.selection) {
-    auto analyzed = std::make_unique<AnalyzedComponent>(component, taint_options);
-    analyzed->analyze(functions);
-    components.push_back(std::move(analyzed));
-    runs.push_back(components.back()->asRun());
-  }
+                                           const extract::ExtractOptions* extract_override,
+                                           const PipelineOptions& pipeline) {
+  statsRegistry().jobs.store(resolveJobs(pipeline), std::memory_order_relaxed);
+  const auto components = analyzeScenarioComponents(scenario, taint_options, pipeline);
   const extract::ExtractOptions options =
       extract_override != nullptr ? *extract_override : extractOptions();
-  return extract::extractDependencies(runs, options);
+  return extractFrom(components, options);
 }
 
 Table5Result runTable5(const taint::AnalysisOptions& taint_options,
-                       const extract::ExtractOptions* extract_override) {
-  Table5Result result;
-  std::vector<std::vector<model::Dependency>> per_scenario_deps;
-  std::vector<std::string> scenario_ids;
+                       const extract::ExtractOptions* extract_override,
+                       const PipelineOptions& pipeline) {
+  const std::size_t jobs = resolveJobs(pipeline);
+  statsRegistry().jobs.store(jobs, std::memory_order_relaxed);
 
-  for (const Scenario& scenario : scenarios()) {
-    ScenarioResult sr;
-    sr.id = scenario.id;
-    sr.title = scenario.title;
-    sr.deps = runScenario(scenario, taint_options, extract_override);
-    sr.score = extract::scoreScenario(scenario.id, sr.deps, groundTruth());
-    per_scenario_deps.push_back(sr.deps);
-    scenario_ids.push_back(scenario.id);
-    result.per_scenario.push_back(std::move(sr));
+  const std::vector<Scenario> scenario_list = scenarios();
+  const extract::ExtractOptions options =
+      extract_override != nullptr ? *extract_override : extractOptions();
+  // Touch the lazily-built corpus singletons before fanning out so no
+  // worker races their first construction.
+  (void)groundTruth();
+
+  // Flatten the scenario x component matrix: every pair is independent,
+  // so all of them can run concurrently — not just the components within
+  // one scenario.
+  struct Pair {
+    std::size_t scenario;
+    std::size_t slot;  ///< index within the scenario's selection order
+    const std::string* component;
+    const std::vector<std::string>* functions;
+  };
+  std::vector<Pair> pairs;
+  std::vector<std::vector<std::unique_ptr<AnalyzedComponent>>> analyzed(scenario_list.size());
+  for (std::size_t s = 0; s < scenario_list.size(); ++s) {
+    analyzed[s].resize(scenario_list[s].selection.size());
+    std::size_t slot = 0;
+    for (const auto& [component, functions] : scenario_list[s].selection) {
+      pairs.push_back(Pair{s, slot++, &component, &functions});
+    }
   }
 
+  ThreadPool::parallelFor(pairs.size(), jobs, [&](std::size_t i) {
+    const Pair& pair = pairs[i];
+    auto component = std::make_unique<AnalyzedComponent>(*pair.component, taint_options,
+                                                         pipeline.use_cache);
+    component->analyze(*pair.functions);
+    analyzed[pair.scenario][pair.slot] = std::move(component);
+  });
+
+  // Extraction and scoring per scenario are independent of each other
+  // too; results land in pre-sized slots, keeping scenario order fixed.
+  Table5Result result;
+  result.per_scenario.resize(scenario_list.size());
+  ThreadPool::parallelFor(scenario_list.size(), jobs, [&](std::size_t s) {
+    ScenarioResult sr;
+    sr.id = scenario_list[s].id;
+    sr.title = scenario_list[s].title;
+    sr.deps = extractFrom(analyzed[s], options);
+    sr.score = extract::scoreScenario(sr.id, sr.deps, groundTruth());
+    result.per_scenario[s] = std::move(sr);
+  });
+
+  std::vector<std::vector<model::Dependency>> per_scenario_deps;
+  std::vector<std::string> scenario_ids;
+  per_scenario_deps.reserve(result.per_scenario.size());
+  for (const ScenarioResult& sr : result.per_scenario) {
+    per_scenario_deps.push_back(sr.deps);
+    scenario_ids.push_back(sr.id);
+  }
   result.unique_deps = extract::dedupeAcrossScenarios(per_scenario_deps);
   result.unique_score = extract::scoreUnique(per_scenario_deps, scenario_ids, groundTruth());
   return result;
+}
+
+PipelineStats pipelineStatsSnapshot() {
+  const StatsRegistry& registry = statsRegistry();
+  PipelineStats stats;
+  stats.parse_ns = registry.cached_parse_ns.load(std::memory_order_relaxed) +
+                   registry.uncached_parse_ns.load(std::memory_order_relaxed);
+  stats.analyze_ns = registry.analyze_ns.load(std::memory_order_relaxed);
+  stats.extract_ns = registry.extract_ns.load(std::memory_order_relaxed);
+  stats.components_analyzed = registry.components_analyzed.load(std::memory_order_relaxed);
+  stats.merge_calls = registry.merge_calls.load(std::memory_order_relaxed);
+  stats.merge_grew = registry.merge_grew.load(std::memory_order_relaxed);
+  stats.cache_hits = ComponentCache::global().hits();
+  stats.cache_misses = ComponentCache::global().misses();
+  stats.jobs = registry.jobs.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void resetPipelineStats() {
+  StatsRegistry& registry = statsRegistry();
+  registry.analyze_ns.store(0, std::memory_order_relaxed);
+  registry.extract_ns.store(0, std::memory_order_relaxed);
+  registry.uncached_parse_ns.store(0, std::memory_order_relaxed);
+  registry.cached_parse_ns.store(0, std::memory_order_relaxed);
+  registry.components_analyzed.store(0, std::memory_order_relaxed);
+  registry.merge_calls.store(0, std::memory_order_relaxed);
+  registry.merge_grew.store(0, std::memory_order_relaxed);
+  registry.jobs.store(1, std::memory_order_relaxed);
+}
+
+std::string PipelineStats::format() const {
+  const auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) / 1e6; };
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "pipeline stats: jobs=%zu\n"
+                "  parse    %9.2f ms  (cache: %llu hits, %llu misses)\n"
+                "  analyze  %9.2f ms  (%llu component runs)\n"
+                "  extract  %9.2f ms\n"
+                "  merges   %llu calls, %llu grew (%.1f%% productive)\n",
+                jobs, ms(parse_ns), static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses), ms(analyze_ns),
+                static_cast<unsigned long long>(components_analyzed), ms(extract_ns),
+                static_cast<unsigned long long>(merge_calls),
+                static_cast<unsigned long long>(merge_grew),
+                merge_calls > 0
+                    ? 100.0 * static_cast<double>(merge_grew) / static_cast<double>(merge_calls)
+                    : 0.0);
+  return buf;
 }
 
 namespace {

@@ -1,15 +1,21 @@
 // End-to-end pipeline over the embedded corpus: parse each component with
-// the fsdep frontend, resolve, seed, run the taint analysis on a
-// scenario's pre-selected functions, extract dependencies, and score them
-// against the ground truth. This is what the Table 5 bench, the CLI and
-// the integration tests drive.
+// the fsdep frontend (once per process — see ComponentCache), resolve,
+// seed, run the taint analysis on a scenario's pre-selected functions,
+// extract dependencies, and score them against the ground truth. This is
+// what the Table 5 bench, the CLI and the integration tests drive.
+//
+// Independent (scenario x component) analyses run concurrently on the
+// support ThreadPool; extraction consumes the results in a fixed order,
+// so serial and parallel runs produce byte-identical output.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ast/ast.h"
+#include "corpus/component_cache.h"
 #include "corpus/corpus.h"
 #include "extract/extractor.h"
 #include "extract/scoring.h"
@@ -21,31 +27,35 @@
 namespace fsdep::corpus {
 
 /// One parsed and resolved component, ready to be analyzed (possibly
-/// several times with different function selections).
+/// several times with different function selections). Frontend results
+/// come from the shared ComponentCache; the taint analyzer — the only
+/// mutable part — is private to this instance, so many
+/// AnalyzedComponents over the same component can run on different
+/// threads at once.
 class AnalyzedComponent {
  public:
-  /// Parses and resolves the named corpus component. Throws
-  /// std::runtime_error when the corpus fails to parse (a bug).
-  AnalyzedComponent(std::string name, const taint::AnalysisOptions& taint_options);
+  /// Obtains the named corpus component from the global ComponentCache
+  /// (parsing it on first use). Throws std::runtime_error when the
+  /// corpus fails to parse (a bug). `use_cache = false` forces a fresh
+  /// parse, bypassing the cache — the seed's behavior, kept for
+  /// benchmarking the cache itself.
+  AnalyzedComponent(std::string name, const taint::AnalysisOptions& taint_options,
+                    bool use_cache = true);
 
   /// (Re)runs the taint analysis on the given functions (empty = all).
   void analyze(const std::vector<std::string>& function_names);
 
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] bool isKernel() const { return is_kernel_; }
-  [[nodiscard]] const ast::TranslationUnit& tu() const { return *tu_; }
-  [[nodiscard]] sema::Sema& semaRef() { return *sema_; }
+  [[nodiscard]] const std::string& name() const { return entry_->name; }
+  [[nodiscard]] bool isKernel() const { return entry_->is_kernel; }
+  [[nodiscard]] const ast::TranslationUnit& tu() const { return *entry_->tu; }
+  [[nodiscard]] const sema::Sema& semaRef() const { return *entry_->sema; }
   [[nodiscard]] taint::Analyzer& analyzer() { return *analyzer_; }
-  [[nodiscard]] const SourceManager& sourceManager() const { return sm_; }
+  [[nodiscard]] const taint::Analyzer& analyzer() const { return *analyzer_; }
+  [[nodiscard]] const SourceManager& sourceManager() const { return entry_->sm; }
   [[nodiscard]] extract::ComponentRun asRun() const;
 
  private:
-  std::string name_;
-  bool is_kernel_ = false;
-  SourceManager sm_;
-  DiagnosticEngine diags_;
-  std::unique_ptr<ast::TranslationUnit> tu_;
-  std::unique_ptr<sema::Sema> sema_;
+  std::shared_ptr<const ComponentEntry> entry_;
   std::unique_ptr<taint::Analyzer> analyzer_;
 };
 
@@ -62,17 +72,53 @@ struct Table5Result {
   std::vector<model::Dependency> unique_deps;
 };
 
+/// Pipeline execution knobs (orthogonal to what is analyzed).
+struct PipelineOptions {
+  /// Worker count for independent (scenario x component) analyses.
+  /// 0 = the global default (FSDEP_JOBS env var, else hardware
+  /// concurrency; the CLI's --jobs flag overrides). 1 = fully serial.
+  std::size_t jobs = 0;
+  /// When false, every component is parsed fresh instead of via the
+  /// ComponentCache — the seed pipeline's behavior (benchmark baseline).
+  bool use_cache = true;
+};
+
+/// Cumulative perf counters of every pipeline run in this process
+/// (parse/analyze/extract wall time, fixpoint merges, cache traffic).
+/// Snapshot with pipelineStatsSnapshot(); the CLI prints them under
+/// --stats.
+struct PipelineStats {
+  std::uint64_t parse_ns = 0;
+  std::uint64_t analyze_ns = 0;
+  std::uint64_t extract_ns = 0;
+  std::uint64_t components_analyzed = 0;
+  std::uint64_t merge_calls = 0;
+  std::uint64_t merge_grew = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t jobs = 0;  ///< worker count of the most recent run
+
+  [[nodiscard]] std::string format() const;
+};
+
+PipelineStats pipelineStatsSnapshot();
+void resetPipelineStats();
+
 /// Runs the whole Table-5 experiment: all four scenarios plus the unique
 /// row. `taint_options` selects intra- vs inter-procedural mode and the
 /// bridging ablation; extraction options come from the corpus unless
-/// overridden.
+/// overridden. Analyses of the scenario x component matrix run in
+/// parallel per `pipeline`; the result is identical to a serial run.
 Table5Result runTable5(const taint::AnalysisOptions& taint_options = {},
-                       const extract::ExtractOptions* extract_override = nullptr);
+                       const extract::ExtractOptions* extract_override = nullptr,
+                       const PipelineOptions& pipeline = {});
 
 /// Runs a single scenario (parse + analyze + extract), unscored.
+/// Component analyses run in parallel per `pipeline`.
 std::vector<model::Dependency> runScenario(const Scenario& scenario,
                                            const taint::AnalysisOptions& taint_options = {},
-                                           const extract::ExtractOptions* extract_override = nullptr);
+                                           const extract::ExtractOptions* extract_override = nullptr,
+                                           const PipelineOptions& pipeline = {});
 
 /// Renders Table 5 in the paper's layout.
 std::string formatTable5(const Table5Result& result);

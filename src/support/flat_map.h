@@ -1,0 +1,98 @@
+// A sorted-vector map: the taint hot loop replaces std::map node churn
+// with binary search over one contiguous buffer. Keys are cheap to
+// compare (pointers, interned ids), values are LabelSets; iteration is in
+// key order, so everything downstream stays deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fsdep {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  /// std::map-style: inserts a default Value when the key is absent.
+  Value& operator[](const Key& key) {
+    const iterator it = lowerBound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, Entry{key, Value{}})->second;
+  }
+
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const const_iterator it = lowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  [[nodiscard]] iterator find(const Key& key) {
+    const iterator it = lowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const { return find(key) != end(); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  bool operator==(const FlatMap& other) const = default;
+
+  /// Pointwise merge: for every entry of `other`, merge(value, theirs)
+  /// when the key exists here, else copy it in. One linear walk over both
+  /// sorted vectors — no per-key binary searches. `merge` returns true
+  /// when the destination value changed; a copied-in entry counts as a
+  /// change exactly when `grew(copy)` says so (an empty LabelSet copied
+  /// in preserves equality semantics but is not growth).
+  template <typename Merge, typename Grew>
+  bool mergeFrom(const FlatMap& other, Merge&& merge, Grew&& grew) {
+    if (other.entries_.empty()) return false;
+    bool changed = false;
+    // Count the keys missing here so one reallocation fits the result.
+    std::size_t missing = 0;
+    {
+      const_iterator a = entries_.begin();
+      for (const Entry& b : other.entries_) {
+        while (a != entries_.end() && a->first < b.first) ++a;
+        if (a == entries_.end() || b.first < a->first) ++missing;
+      }
+    }
+    if (missing > 0) entries_.reserve(entries_.size() + missing);
+    std::size_t a = 0;
+    for (const Entry& b : other.entries_) {
+      while (a < entries_.size() && entries_[a].first < b.first) ++a;
+      if (a < entries_.size() && entries_[a].first == b.first) {
+        changed |= merge(entries_[a].second, b.second);
+      } else {
+        entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(a), b);
+        changed |= grew(b.second);
+      }
+      ++a;
+    }
+    return changed;
+  }
+
+ private:
+  [[nodiscard]] iterator lowerBound(const Key& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, const Key& k) { return e.first < k; });
+  }
+  [[nodiscard]] const_iterator lowerBound(const Key& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fsdep

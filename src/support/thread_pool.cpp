@@ -1,0 +1,114 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace fsdep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  thread_count_ = threads == 0 ? defaultJobs() : threads;
+  // The submitting thread drains the queue inside wait(), so a pool of
+  // size N needs only N-1 background workers.
+  workers_.reserve(thread_count_ > 0 ? thread_count_ - 1 : 0);
+  for (std::size_t i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline, no queue, no locks to speak of.
+    ++in_flight_;
+    job();
+    --in_flight_;
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::runOneJob(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> job = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  lock.unlock();
+  job();
+  lock.lock();
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (runOneJob(lock)) continue;
+    if (shutting_down_) return;
+    work_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Help drain, then wait for stragglers running on the workers.
+  while (runOneJob(lock)) {
+  }
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::defaultJobs() {
+  if (const char* env = std::getenv("FSDEP_JOBS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;            // guarded by g_pool_mu
+std::size_t g_jobs = 0;                        // 0 = defaultJobs()
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  const std::size_t want = g_jobs == 0 ? defaultJobs() : g_jobs;
+  if (g_pool == nullptr || g_pool->threadCount() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void ThreadPool::setGlobalJobs(std::size_t jobs) {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_jobs = jobs;
+  // The pool itself is (re)built lazily by the next global() call; an
+  // existing pool of the wrong size is only replaced when nothing runs,
+  // which is guaranteed because global() callers serialize on wait().
+  if (g_pool != nullptr && jobs != 0 && g_pool->threadCount() != jobs) {
+    g_pool.reset();
+  }
+}
+
+std::size_t ThreadPool::globalJobs() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_jobs == 0 ? defaultJobs() : g_jobs;
+}
+
+}  // namespace fsdep

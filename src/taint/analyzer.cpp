@@ -7,8 +7,31 @@ namespace fsdep::taint {
 
 using namespace ast;
 
-Analyzer::Analyzer(const TranslationUnit& tu, sema::Sema& sema, AnalysisOptions options)
+Analyzer::Analyzer(const TranslationUnit& tu, const sema::Sema& sema, AnalysisOptions options)
     : tu_(tu), sema_(sema), options_(options) {}
+
+FieldKeyId Analyzer::fieldIdFor(const MemberExpr& m) const {
+  const auto memo = field_id_memo_.find(m.field);
+  if (memo != field_id_memo_.end()) return memo->second;
+  const FieldKeyId id = field_keys_.intern(m.record->name, m.field->name);
+  field_id_memo_.emplace(m.field, id);
+  return id;
+}
+
+LabelId Analyzer::bridgeLabelFor(const MemberExpr& m, FieldKeyId key) const {
+  constexpr LabelId kUnset = static_cast<LabelId>(-1);
+  if (key >= bridge_label_memo_.size()) bridge_label_memo_.resize(key + 1, kUnset);
+  if (bridge_label_memo_[key] == kUnset) {
+    bridge_label_memo_[key] = labels_.internField(m.record->name, m.field->name);
+  }
+  return bridge_label_memo_[key];
+}
+
+std::map<std::string, LabelSet> Analyzer::fieldWrites() const {
+  std::map<std::string, LabelSet> out;
+  for (const auto& [id, labels] : field_writes_) out.emplace(field_keys_.key(id), labels);
+  return out;
+}
 
 void Analyzer::addSeed(Seed seed) { seeds_.push_back(std::move(seed)); }
 
@@ -96,6 +119,8 @@ void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
   sticky_.clear();
   entry_bindings_.clear();
   return_summaries_.clear();
+  merge_calls_ = 0;
+  merge_grew_ = 0;
 
   for (const FunctionDecl* fn : fns) {
     if (fn == nullptr || !fn->isDefinition()) continue;
@@ -144,7 +169,10 @@ void Analyzer::analyzeFunction(FunctionTaint& result) {
         evalExpr(*block.condition, state, /*effects=*/true);
       }
       for (const cfg::Edge& e : block.successors) {
-        changed |= result.block_entry[e.target].mergeFrom(state);
+        const bool grew = result.block_entry[e.target].mergeFrom(state);
+        ++merge_calls_;
+        merge_grew_ += grew ? 1 : 0;
+        changed |= grew;
       }
     }
   }
@@ -314,10 +342,10 @@ LabelSet Analyzer::evalExpr(const Expr& expr, TaintState& state, bool effects) {
       const auto& m = static_cast<const MemberExpr&>(expr);
       evalExpr(*m.base, state, effects);
       if (m.record == nullptr || m.field == nullptr) return {};
-      const std::string key = fieldKey(m.record->name, m.field->name);
+      const FieldKeyId key = fieldIdFor(m);
       LabelSet labels = state.fieldLabels(key);
       if (options_.field_bridging) {
-        labels.insert(labels_.internField(m.record->name, m.field->name));
+        labels.insert(bridgeLabelFor(m, key));
       }
       return labels;
     }
@@ -368,11 +396,12 @@ void Analyzer::assignTo(const Expr& lhs, const Expr* rhs, const LabelSet& labels
     case ExprKind::Member: {
       const auto& m = static_cast<const MemberExpr&>(lhs);
       if (m.record == nullptr || m.field == nullptr) return;
-      const std::string key = fieldKey(m.record->name, m.field->name);
+      const FieldKeyId id = fieldIdFor(m);
       // Fields are object-insensitive: always a weak update.
-      unionInto(state.fields[key], labels);
-      unionInto(field_writes_[key], labels);
+      unionInto(state.fields[id], labels);
+      unionInto(field_writes_[id], labels);
       if (!labels.empty()) {
+        const std::string& key = field_keys_.key(id);
         recordTrace(key, loc, key + " <- " + (rhs != nullptr ? exprToString(*rhs) : "<expr>"));
         recordWrite(lhs, key, /*is_field=*/true, key, labels, rhs, loc, op);
       }

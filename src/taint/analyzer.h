@@ -20,9 +20,11 @@
 //     back, iterated to a whole-TU fixpoint.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/ast.h"
@@ -39,6 +41,8 @@ struct AnalysisOptions {
   bool field_bridging = true;
   int max_global_passes = 10;
   std::size_t max_trace_steps = 24;
+
+  bool operator==(const AnalysisOptions& other) const = default;
 };
 
 /// A manual annotation: variable `variable` in function `function` carries
@@ -85,7 +89,7 @@ struct FunctionTaint {
 
 class Analyzer {
  public:
-  Analyzer(const ast::TranslationUnit& tu, sema::Sema& sema, AnalysisOptions options = {});
+  Analyzer(const ast::TranslationUnit& tu, const sema::Sema& sema, AnalysisOptions options = {});
 
   void addSeed(Seed seed);
 
@@ -103,10 +107,13 @@ class Analyzer {
   [[nodiscard]] const LabelTable& labels() const { return labels_; }
 
   /// Union of labels written to each metadata field anywhere in the run;
-  /// the extractor uses this to bridge components.
-  [[nodiscard]] const std::map<std::string, LabelSet>& fieldWrites() const {
-    return field_writes_;
-  }
+  /// the extractor uses this to bridge components. Materialized from the
+  /// interned-id map on each call — the analysis itself never touches
+  /// strings on this path.
+  [[nodiscard]] std::map<std::string, LabelSet> fieldWrites() const;
+
+  /// The "record.field" <-> id interner of this analyzer.
+  [[nodiscard]] const FieldKeyTable& fieldKeys() const { return field_keys_; }
 
   /// All tainted writes, in deterministic (source) order.
   [[nodiscard]] std::vector<const WriteEvent*> writeEvents() const;
@@ -120,6 +127,12 @@ class Analyzer {
 
   [[nodiscard]] const AnalysisOptions& options() const { return options_; }
   [[nodiscard]] const sema::Sema& semaRef() const { return sema_; }
+
+  /// Fixpoint merge counters of the last run() (perf instrumentation):
+  /// how many successor-edge merges ran and how many actually grew the
+  /// destination state.
+  [[nodiscard]] std::uint64_t mergeCalls() const { return merge_calls_; }
+  [[nodiscard]] std::uint64_t mergeGrew() const { return merge_grew_; }
 
  private:
   void seedEntryState(const ast::FunctionDecl& fn, TaintState& state);
@@ -135,11 +148,19 @@ class Analyzer {
   [[nodiscard]] std::string describeVar(const ast::VarDecl& var) const;
   [[nodiscard]] const ast::VarDecl* findVarInFunction(const ast::FunctionDecl& fn,
                                                       std::string_view name) const;
+  /// Interned id of the field a member expression touches, memoized per
+  /// field declaration (each record.field is one FieldDecl in the TU).
+  [[nodiscard]] FieldKeyId fieldIdFor(const ast::MemberExpr& m) const;
+  /// The "field:record.field" bridge label, memoized by field key id.
+  [[nodiscard]] LabelId bridgeLabelFor(const ast::MemberExpr& m, FieldKeyId key) const;
 
   const ast::TranslationUnit& tu_;
-  sema::Sema& sema_;
+  const sema::Sema& sema_;
   AnalysisOptions options_;
   mutable LabelTable labels_;
+  mutable FieldKeyTable field_keys_;
+  mutable std::unordered_map<const ast::FieldDecl*, FieldKeyId> field_id_memo_;
+  mutable std::vector<LabelId> bridge_label_memo_;  ///< indexed by FieldKeyId
   std::vector<Seed> seeds_;
 
   std::vector<std::unique_ptr<FunctionTaint>> results_;
@@ -154,7 +175,10 @@ class Analyzer {
   std::map<const ast::FunctionDecl*, LabelSet> return_summaries_;
   bool bindings_changed_ = false;
 
-  std::map<std::string, LabelSet> field_writes_;
+  std::uint64_t merge_calls_ = 0;
+  std::uint64_t merge_grew_ = 0;
+
+  std::map<FieldKeyId, LabelSet> field_writes_;
   std::map<std::string, std::vector<TraceStep>> traces_;
   std::map<const ast::Expr*, WriteEvent> writes_;
 };

@@ -28,10 +28,37 @@ std::string_view LabelTable::payload(LabelId id) const {
   return colon == std::string_view::npos ? n : n.substr(colon + 1);
 }
 
+FieldKeyId FieldKeyTable::intern(std::string_view record, std::string_view field) {
+  std::string key;
+  key.reserve(record.size() + 1 + field.size());
+  key += record;
+  key += '.';
+  key += field;
+  return internKey(std::move(key));
+}
+
+FieldKeyId FieldKeyTable::internKey(std::string key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const FieldKeyId id = static_cast<FieldKeyId>(keys_.size());
+  index_.emplace(key, id);
+  keys_.push_back(std::move(key));
+  return id;
+}
+
 bool unionInto(LabelSet& into, const LabelSet& from) {
-  bool changed = false;
-  for (const LabelId id : from) changed |= into.insert(id).second;
-  return changed;
+  if (from.count_ == 0) return false;
+  if (into.words_.size() < from.words_.size()) into.words_.resize(from.words_.size(), 0);
+  std::uint32_t added = 0;
+  for (std::size_t i = 0; i < from.words_.size(); ++i) {
+    const std::uint64_t grown = from.words_[i] & ~into.words_[i];
+    if (grown != 0) {
+      into.words_[i] |= grown;
+      added += static_cast<std::uint32_t>(std::popcount(grown));
+    }
+  }
+  into.count_ += added;
+  return added != 0;
 }
 
 std::string labelSetToString(const LabelTable& table, const LabelSet& set) {

@@ -5,10 +5,16 @@
 //                                    the "bridge" labels that let the
 //                                    extractor connect parameters of
 //                                    different components (paper §4.1).
+//
+// LabelIds are dense (interned per Analyzer), so a label set is a chunked
+// bitset: union/merge — the fixpoint hot operation — is O(words) of
+// bitwise OR instead of a std::set node walk. Iteration yields ids in
+// ascending order, exactly like the std::set it replaced, so extraction
+// and traces stay deterministic.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,7 +23,89 @@
 namespace fsdep::taint {
 
 using LabelId = std::uint32_t;
-using LabelSet = std::set<LabelId>;
+
+class LabelSet {
+ public:
+  /// Sets the bit; returns true when it was newly set.
+  bool insert(LabelId id) {
+    const std::size_t word = id >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if ((words_[word] & bit) != 0) return false;
+    words_[word] |= bit;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(LabelId id) const {
+    const std::size_t word = id >> 6;
+    return word < words_.size() && (words_[word] >> (id & 63) & 1) != 0;
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  void clear() {
+    words_.clear();
+    count_ = 0;
+  }
+
+  /// Equality is set equality; trailing zero words are insignificant.
+  bool operator==(const LabelSet& other) const {
+    if (count_ != other.count_) return false;
+    const std::size_t common = words_.size() < other.words_.size() ? words_.size()
+                                                                   : other.words_.size();
+    for (std::size_t i = 0; i < common; ++i) {
+      if (words_[i] != other.words_[i]) return false;
+    }
+    // Same popcount and identical common prefix => any extra words are 0.
+    return true;
+  }
+
+  class const_iterator {
+   public:
+    using value_type = LabelId;
+    const_iterator(const std::vector<std::uint64_t>* words, std::size_t word,
+                   std::uint64_t pending)
+        : words_(words), word_(word), pending_(pending) {
+      advance();
+    }
+    LabelId operator*() const {
+      return static_cast<LabelId>(word_ * 64 +
+                                  static_cast<std::size_t>(std::countr_zero(pending_)));
+    }
+    const_iterator& operator++() {
+      pending_ &= pending_ - 1;  // clear lowest set bit
+      advance();
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return word_ == other.word_ && pending_ == other.pending_;
+    }
+
+   private:
+    void advance() {
+      while (pending_ == 0 && word_ + 1 < words_->size()) {
+        ++word_;
+        pending_ = (*words_)[word_];
+      }
+      if (pending_ == 0) word_ = words_->size();  // end
+    }
+    const std::vector<std::uint64_t>* words_;
+    std::size_t word_;
+    std::uint64_t pending_;
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(&words_, 0, words_.empty() ? 0 : words_[0]);
+  }
+  [[nodiscard]] const_iterator end() const { return const_iterator(&words_, words_.size(), 0); }
+
+  friend bool unionInto(LabelSet& into, const LabelSet& from);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint32_t count_ = 0;
+};
 
 class LabelTable {
  public:
@@ -37,7 +125,24 @@ class LabelTable {
   std::unordered_map<std::string, LabelId> index_;
 };
 
-/// set union; returns true when `into` grew.
+/// Interns "record.field" object keys to dense ids, so the per-point
+/// taint state maps integers instead of strings.
+using FieldKeyId = std::uint32_t;
+
+class FieldKeyTable {
+ public:
+  FieldKeyId intern(std::string_view record, std::string_view field);
+  FieldKeyId internKey(std::string key);
+  /// The "record.field" string of an id.
+  [[nodiscard]] const std::string& key(FieldKeyId id) const { return keys_[id]; }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string, FieldKeyId> index_;
+};
+
+/// set union; returns true when `into` grew. O(words) bitwise OR.
 bool unionInto(LabelSet& into, const LabelSet& from);
 
 /// Renders a label set like "{param:a.b, field:c.d}" for traces and tests.

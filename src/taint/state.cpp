@@ -10,9 +10,10 @@ std::string fieldKey(std::string_view record, std::string_view field) {
 }
 
 bool TaintState::mergeFrom(const TaintState& other) {
-  bool changed = false;
-  for (const auto& [var, labels] : other.vars) changed |= unionInto(vars[var], labels);
-  for (const auto& [key, labels] : other.fields) changed |= unionInto(fields[key], labels);
+  const auto merge = [](LabelSet& into, const LabelSet& from) { return unionInto(into, from); };
+  const auto grew = [](const LabelSet& copied) { return !copied.empty(); };
+  bool changed = vars.mergeFrom(other.vars, merge, grew);
+  changed |= fields.mergeFrom(other.fields, merge, grew);
   return changed;
 }
 
@@ -21,7 +22,7 @@ LabelSet TaintState::varLabels(const ast::VarDecl* var) const {
   return it != vars.end() ? it->second : LabelSet{};
 }
 
-LabelSet TaintState::fieldLabels(const std::string& key) const {
+LabelSet TaintState::fieldLabels(FieldKeyId key) const {
   const auto it = fields.find(key);
   return it != fields.end() ? it->second : LabelSet{};
 }

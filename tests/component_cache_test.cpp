@@ -1,0 +1,121 @@
+// ComponentCache behavior: parse-once semantics, concurrent first
+// access, AnalysisOptions-keyed invalidation, error propagation.
+#include "corpus/component_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "corpus/pipeline.h"
+
+namespace fsdep::corpus {
+namespace {
+
+TEST(ComponentCache, ColdMissThenWarmHitsShareOneEntry) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+
+  const auto first = cache.get("mke2fs", options);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name, "mke2fs");
+  ASSERT_NE(first->tu, nullptr);
+  ASSERT_NE(first->sema, nullptr);
+  EXPECT_FALSE(first->seeds.empty());
+
+  const auto second = cache.get("mke2fs", options);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get()) << "warm hit must reuse the parsed entry";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ComponentCache, ConcurrentFirstAccessParsesExactlyOnce) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  constexpr int kThreads = 8;
+
+  std::vector<std::shared_ptr<const ComponentEntry>> entries(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &options, &entries, t] {
+        entries[static_cast<std::size_t>(t)] = cache.get("resize2fs", options);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  EXPECT_EQ(cache.misses(), 1u) << "only the first requester may parse";
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+  for (const auto& entry : entries) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry.get(), entries.front().get());
+  }
+}
+
+TEST(ComponentCache, DifferentOptionsInvalidateTheEntry) {
+  ComponentCache cache;
+  taint::AnalysisOptions intra;
+  taint::AnalysisOptions inter;
+  inter.inter_procedural = true;
+
+  const auto a = cache.get("mount", intra);
+  const auto b = cache.get("mount", inter);  // options mismatch: rebuild
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u) << "one slot per component, keyed by name";
+
+  // The slot now serves the new options; the old shared_ptr stays valid.
+  const auto c = cache.get("mount", inter);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(b.get(), c.get());
+  EXPECT_EQ(a->name, "mount");
+}
+
+TEST(ComponentCache, UnknownComponentThrowsForEveryRequester) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  EXPECT_THROW(cache.get("no-such-component", options), std::runtime_error);
+  // The failure is cached in the slot's future; later requesters see the
+  // same error (and a hit, not a re-parse attempt).
+  EXPECT_THROW(cache.get("no-such-component", options), std::runtime_error);
+}
+
+TEST(ComponentCache, ClearDropsEntriesButKeepsOutstandingPointersValid) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  const auto entry = cache.get("e2fsck", options);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(entry->name, "e2fsck");  // shared_ptr still owns the entry
+  const auto again = cache.get("e2fsck", options);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(entry.get(), again.get());
+}
+
+TEST(ComponentCache, BuildBypassesCaching) {
+  const taint::AnalysisOptions options;
+  const auto a = ComponentCache::build("mke2fs", options);
+  const auto b = ComponentCache::build("mke2fs", options);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get()) << "build() must parse fresh every time";
+}
+
+TEST(ComponentCache, AnalyzedComponentsShareTheGlobalEntry) {
+  const taint::AnalysisOptions options;
+  AnalyzedComponent first("mke2fs", options);
+  AnalyzedComponent second("mke2fs", options);
+  EXPECT_EQ(&first.tu(), &second.tu()) << "same shared TU from the global cache";
+  EXPECT_NE(&first.analyzer(), &second.analyzer()) << "analyzers stay per-instance";
+}
+
+}  // namespace
+}  // namespace fsdep::corpus

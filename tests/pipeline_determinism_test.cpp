@@ -1,0 +1,86 @@
+// Serial and parallel pipeline runs must be indistinguishable: the same
+// dependencies, the same scores, byte-identical JSON — across repeated
+// runs (the work-stealing order is nondeterministic; the results must
+// not be).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/pipeline.h"
+#include "json/json.h"
+#include "model/serialization.h"
+
+namespace fsdep::corpus {
+namespace {
+
+std::string table5Json(const PipelineOptions& pipeline) {
+  const Table5Result result = runTable5({}, nullptr, pipeline);
+  json::Value value = model::toJson(result.unique_deps);
+  return json::writePretty(value);
+}
+
+TEST(PipelineDeterminism, SerialAndParallelTable5AreByteIdentical) {
+  const PipelineOptions serial{.jobs = 1, .use_cache = true};
+  const PipelineOptions parallel{.jobs = 4, .use_cache = true};
+
+  const std::string reference = table5Json(serial);
+  ASSERT_FALSE(reference.empty());
+
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(table5Json(serial), reference) << "serial run " << run;
+    EXPECT_EQ(table5Json(parallel), reference) << "parallel run " << run;
+  }
+}
+
+TEST(PipelineDeterminism, CachedAndUncachedPipelinesAgree) {
+  const PipelineOptions cached{.jobs = 1, .use_cache = true};
+  const PipelineOptions uncached{.jobs = 1, .use_cache = false};  // the seed's exact behavior
+  EXPECT_EQ(table5Json(cached), table5Json(uncached));
+}
+
+TEST(PipelineDeterminism, FormattedTableMatchesAcrossModes) {
+  const Table5Result serial = runTable5({}, nullptr, {.jobs = 1, .use_cache = true});
+  const Table5Result parallel = runTable5({}, nullptr, {.jobs = 4, .use_cache = true});
+  EXPECT_EQ(formatTable5(serial), formatTable5(parallel));
+  ASSERT_EQ(serial.per_scenario.size(), parallel.per_scenario.size());
+  for (std::size_t i = 0; i < serial.per_scenario.size(); ++i) {
+    EXPECT_EQ(serial.per_scenario[i].deps.size(), parallel.per_scenario[i].deps.size());
+    EXPECT_EQ(serial.per_scenario[i].score.totalExtracted(),
+              parallel.per_scenario[i].score.totalExtracted());
+    EXPECT_EQ(serial.per_scenario[i].score.totalFalsePositives(),
+              parallel.per_scenario[i].score.totalFalsePositives());
+  }
+}
+
+TEST(PipelineDeterminism, ScenarioRunsAreIdenticalAcrossJobCounts) {
+  const auto scenario_list = scenarios();
+  for (const Scenario& s : scenario_list) {
+    const auto serial = runScenario(s, {}, nullptr, {.jobs = 1});
+    const auto parallel = runScenario(s, {}, nullptr, {.jobs = 4});
+    json::Value a = model::toJson(serial);
+    json::Value b = model::toJson(parallel);
+    EXPECT_EQ(json::writePretty(a), json::writePretty(b)) << "scenario " << s.id;
+  }
+}
+
+TEST(PipelineStatsApi, CountersAccumulateAndReset) {
+  resetPipelineStats();
+  (void)runTable5({}, nullptr, {.jobs = 2});
+  const PipelineStats stats = pipelineStatsSnapshot();
+  EXPECT_GT(stats.analyze_ns, 0u);
+  EXPECT_GT(stats.components_analyzed, 0u);
+  EXPECT_GT(stats.merge_calls, 0u);
+  EXPECT_GE(stats.merge_calls, stats.merge_grew);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_FALSE(stats.format().empty());
+
+  resetPipelineStats();
+  const PipelineStats zeroed = pipelineStatsSnapshot();
+  EXPECT_EQ(zeroed.analyze_ns, 0u);
+  EXPECT_EQ(zeroed.components_analyzed, 0u);
+  EXPECT_EQ(zeroed.merge_calls, 0u);
+}
+
+}  // namespace
+}  // namespace fsdep::corpus
