@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "corpus/pipeline.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 using namespace fsdep;
@@ -50,6 +51,28 @@ void BM_Table5ParallelNoCache(benchmark::State& state) {
   runTable5Bench(state, static_cast<std::size_t>(state.range(0)), false);
 }
 BENCHMARK(BM_Table5ParallelNoCache)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Observability overhead guard (scripts/bench_compare.sh asserts the
+// pair stays within 3%). TracingOff is the production default: the
+// instrumentation is compiled in but every Span degrades to one relaxed
+// atomic load. TracingOn collects a full trace per iteration — the
+// measurable *upper bound* on what the always-compiled-in hooks can
+// cost, so the disabled overhead is strictly below whatever this shows.
+void BM_Table5TracingOff(benchmark::State& state) { runTable5Bench(state, 2, true); }
+BENCHMARK(BM_Table5TracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_Table5TracingOn(benchmark::State& state) {
+  const corpus::PipelineOptions pipeline{.jobs = 2, .use_cache = true};
+  benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));  // warm cache
+  for (auto _ : state) {
+    obs::Trace::start();
+    benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));
+    benchmark::DoNotOptimize(obs::Trace::stop());
+  }
+  state.counters["jobs"] = 2.0;
+  state.counters["cache"] = 1.0;
+}
+BENCHMARK(BM_Table5TracingOn)->Unit(benchmark::kMillisecond);
 
 // Single scenario, the interactive `fsdep extract --scenario` path.
 void BM_ScenarioSeedVsCached(benchmark::State& state, bool use_cache) {

@@ -21,3 +21,24 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_pipeline
   --benchmark_report_aggregates_only=true
 
 echo "wrote $OUT"
+
+# Observability overhead guard: tracing-ON vs tracing-OFF Table 5 runs.
+# The instrumentation is always compiled in, so the fully-enabled trace
+# collection is a measurable upper bound on what the disabled hooks
+# (one relaxed atomic load per span) can cost. Fail when even that
+# upper bound exceeds 3%.
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+means = {b["name"]: b["real_time"] for b in doc["benchmarks"]
+         if b.get("aggregate_name") == "mean"}
+off = means.get("BM_Table5TracingOff_mean")
+on = means.get("BM_Table5TracingOn_mean")
+if off is None or on is None:
+    sys.exit("missing BM_Table5TracingOff/BM_Table5TracingOn in the benchmark output")
+overhead = (on - off) / off * 100.0
+print(f"tracing overhead: off={off:.2f} on={on:.2f} -> {overhead:+.2f}%")
+if overhead > 3.0:
+    sys.exit(f"observability overhead {overhead:.2f}% exceeds the 3% budget")
+EOF

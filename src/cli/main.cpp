@@ -8,6 +8,7 @@
 //   fsdep figure1
 //   fsdep dump-ast <component>
 //   fsdep dump-cfg <component> <function>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,11 @@
 
 #include "ast/parser.h"
 #include "lex/preprocessor.h"
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 #include "ast/dump.h"
 #include "corpus/pipeline.h"
@@ -44,10 +50,19 @@ int usage() {
       "usage: fsdep <command> [options]\n"
       "\n"
       "global options (every command):\n"
-      "  --jobs N   analyze N (scenario x component) pairs concurrently\n"
-      "             (default: FSDEP_JOBS env var, else hardware threads)\n"
-      "  --stats    print pipeline perf counters (parse/analyze/extract\n"
-      "             time, cache hits, fixpoint merges) to stderr\n"
+      "  --jobs N        analyze N (scenario x component) pairs concurrently\n"
+      "                  (default: FSDEP_JOBS env var, else hardware threads)\n"
+      "  --stats         print pipeline perf counters (parse/analyze/extract\n"
+      "                  time, cache hits, fixpoint merges) to stderr\n"
+      "  --trace FILE    record spans and write a Chrome trace-event JSON\n"
+      "                  (open in Perfetto / chrome://tracing)\n"
+      "  --metrics FILE  dump the metrics registry (counters, gauges,\n"
+      "                  histograms) as JSON on exit\n"
+      "  --report FILE   write a structured run report (version, command,\n"
+      "                  wall time, metrics, per-command facts) as JSON\n"
+      "  --log LEVEL     stderr log level: debug|info|warn|error|off\n"
+      "                  (default: FSDEP_LOG env var, else warn;\n"
+      "                  FSDEP_LOG_FORMAT=json switches to JSON lines)\n"
       "\n"
       "commands:\n"
       "  extract    run the static analyzer over the corpus and print the\n"
@@ -125,6 +140,9 @@ int cmdExtract(const std::vector<std::string>& args) {
     }
   }
 
+  obs::RunReport::global().note("deps_extracted", deps.size());
+  FSDEP_LOG_INFO("cli", "extract: %zu dependencies (scenario %s)", deps.size(),
+                 scenario_id.c_str());
   if (hasFlag(args, "--json")) {
     std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
   } else {
@@ -166,6 +184,19 @@ int cmdCrashCk(const std::vector<std::string>& args) {
     return 2;
   }
   const tools::CrashCkReport& report = result.value();
+  {
+    obs::RunReport& run_report = obs::RunReport::global();
+    run_report.note("crashck_summary", report.summary());
+    run_report.note("crashck_recovered",
+                    static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::Recovered)));
+    run_report.note("crashck_needs_repair",
+                    static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::NeedsRepair)));
+    run_report.note("crashck_silent_corruption",
+                    static_cast<std::uint64_t>(
+                        report.totalOf(tools::CrashOutcome::SilentCorruption)));
+    run_report.note("crashck_data_loss",
+                    static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::DataLoss)));
+  }
 
   if (hasFlag(args, "--json")) {
     json::Object root;
@@ -372,6 +403,215 @@ int cmdCheck(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Dispatches one command (global flags already stripped from `args`).
+int runCommand(const std::string& command, const std::vector<std::string>& args) {
+  if (command == "extract") return cmdExtract(args);
+  if (command == "table2") {
+    std::fputs(study::formatTable2(study::runCoverageStudy()).c_str(), stdout);
+    return 0;
+  }
+  if (command == "table3") {
+    std::fputs(study::formatTable3().c_str(), stdout);
+    return 0;
+  }
+  if (command == "table4") {
+    std::fputs(study::formatTable4().c_str(), stdout);
+    return 0;
+  }
+  if (command == "table5") {
+    const corpus::Table5Result result = corpus::runTable5();
+    obs::RunReport::global().note("unique_deps", result.unique_deps.size());
+    std::fputs(corpus::formatTable5(result).c_str(), stdout);
+    return 0;
+  }
+  if (command == "docck") {
+    const tools::DocCheckReport report = tools::runCorpusDocCheck();
+    std::printf("%s\n", report.summary().c_str());
+    for (const tools::DocIssue& issue : report.issues) {
+      std::printf("  [%s] %s\n", tools::docIssueKindName(issue.kind),
+                  issue.explanation.c_str());
+    }
+    return 0;
+  }
+  if (command == "handleck") {
+    const tools::HandleCheckReport report = tools::runCorpusHandleCheck();
+    std::printf("%s\n", report.summary().c_str());
+    for (const tools::HandleCase& c : report.cases) {
+      if (c.outcome == tools::HandleOutcome::Corruption ||
+          c.outcome == tools::HandleOutcome::SilentAccept) {
+        std::printf("  [%s] %s\n      %s\n", tools::handleOutcomeName(c.outcome),
+                    c.description.c_str(), c.detail.c_str());
+      }
+    }
+    return 0;
+  }
+  if (command == "bugck") {
+    const int runs = static_cast<int>(std::strtol(flagValue(args, "--runs", "100").c_str(),
+                                                  nullptr, 10));
+    const std::vector<model::Dependency> deps = corpus::runTable5().unique_deps;
+    const tools::CampaignResult naive = tools::runCampaign(runs, false, deps);
+    const tools::CampaignResult aware = tools::runCampaign(runs, true, deps);
+    std::fputs(tools::formatCampaignComparison(naive, aware).c_str(), stdout);
+    return 0;
+  }
+  if (command == "figure1") return cmdFigure1();
+  if (command == "crashck") return cmdCrashCk(args);
+  if (command == "xfs") {
+    const extract::ExtractOptions options = corpus::xfsExtractOptions();
+    const auto deps =
+        corpus::runScenario(corpus::xfsScenario(), taint::AnalysisOptions{}, &options);
+    if (hasFlag(args, "--json")) {
+      std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
+    } else {
+      for (const model::Dependency& dep : deps) std::printf("%s\n", dep.summary().c_str());
+      std::printf("\n%zu dependencies extracted from the XFS ecosystem\n", deps.size());
+    }
+    return 0;
+  }
+  if (command == "bugs") {
+    if (hasFlag(args, "--json")) {
+      json::Array cases;
+      for (const study::BugCase& bug : study::bugCases()) {
+        json::Object o;
+        o["id"] = bug.id;
+        o["scenario"] = bug.scenario;
+        o["title"] = bug.title;
+        json::Array dep_ids;
+        for (const std::string& id : bug.dependency_ids) dep_ids.emplace_back(id);
+        o["dependencies"] = std::move(dep_ids);
+        cases.push_back(std::move(o));
+      }
+      json::Object root;
+      root["bugs"] = std::move(cases);
+      std::fputs(json::writePretty(root).c_str(), stdout);
+    } else {
+      for (const study::BugCase& bug : study::bugCases()) {
+        std::printf("%-12s [%s] %s\n", bug.id.c_str(), bug.scenario.c_str(),
+                    bug.title.c_str());
+      }
+      std::printf("\n%zu bug cases\n", study::bugCases().size());
+    }
+    return 0;
+  }
+  if (command == "explain") {
+    if (args.empty()) {
+      std::fprintf(stderr, "explain: which parameter? (e.g. mke2fs.sparse_super2)\n");
+      return 2;
+    }
+    const std::string& param = args[0];
+    const corpus::Table5Result result = corpus::runTable5();
+    const model::Parameter* registered = corpus::ecosystem().findParameter(param);
+    if (registered != nullptr) {
+      std::printf("%s  (%s, %s stage): %s\n\n", param.c_str(), registered->flag.c_str(),
+                  model::configStageName(registered->stage), registered->description.c_str());
+    } else {
+      std::printf("%s  (not in the parameter registry)\n\n", param.c_str());
+    }
+    int shown = 0;
+    for (const model::Dependency& dep : result.unique_deps) {
+      if (dep.param != param && dep.other_param != param) continue;
+      std::printf("  %s\n", dep.summary().c_str());
+      for (const std::string& step : dep.trace) std::printf("      %s\n", step.c_str());
+      ++shown;
+    }
+    bool documented = false;
+    for (const corpus::ManualEntry& entry : corpus::allManuals()) {
+      if (entry.claim.param == param || entry.claim.other_param == param) {
+        std::printf("  manual: \"%s\"\n", entry.text.c_str());
+        documented = true;
+      }
+    }
+    if (shown == 0) std::puts("  no extracted dependencies involve this parameter");
+    if (!documented) std::puts("  no manual claim mentions this parameter");
+    return 0;
+  }
+  if (command == "graph") {
+    const corpus::Table5Result result = corpus::runTable5();
+    tools::GraphOptions options;
+    options.include_self_deps = hasFlag(args, "--self-deps");
+    std::fputs(tools::renderDependencyGraphDot(result.unique_deps, options).c_str(), stdout);
+    return 0;
+  }
+  if (command == "check") return cmdCheck(args);
+  if (command == "export-corpus") {
+    if (args.empty()) {
+      std::fprintf(stderr, "export-corpus: need a target directory\n");
+      return 2;
+    }
+    const std::string dir = args[0];
+    auto writeFile = [&](const std::string& name, std::string_view text) {
+      const std::string out_path = dir + "/" + name;
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s (does the directory exist?)\n",
+                     out_path.c_str());
+        std::exit(1);
+      }
+      out << text;
+      std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
+    };
+    for (const char* header : {"ext4_fs.h", "fsdep_libc.h", "xfs_fs.h", "btrfs_fs.h"}) {
+      writeFile(header, *corpus::headerSource(header));
+    }
+    for (const auto& names : {corpus::componentNames(), corpus::xfsComponentNames(),
+                              corpus::btrfsComponentNames()}) {
+      for (const std::string& component : names) {
+        writeFile(component + ".c", corpus::componentSource(component));
+      }
+    }
+    return 0;
+  }
+  if (command == "dump-ast") return cmdDumpAst(args);
+  if (command == "dump-cfg") return cmdDumpCfg(args);
+  return usage();
+}
+
+/// Per-invocation observability session. start() flips tracing on when
+/// requested; finish() records wall time / exit code and writes the
+/// trace, metrics and report files. Output files are written even when
+/// the command fails — a failing run is exactly the one worth studying.
+class ObsSession {
+ public:
+  std::string trace_path;
+  std::string metrics_path;
+  std::string report_path;
+
+  void start(const std::string& command, const std::vector<std::string>& args) {
+    start_ = std::chrono::steady_clock::now();
+    obs::RunReport& report = obs::RunReport::global();
+    report.setCommand(command, args);
+    report.setJobs(ThreadPool::globalJobs());
+    if (!trace_path.empty()) obs::Trace::start();
+  }
+
+  void finish(int exit_code) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+            .count();
+    obs::RunReport& report = obs::RunReport::global();
+    report.setWallMillis(wall_ms);
+    report.setExitCode(exit_code);
+    FSDEP_LOG_INFO("cli", "done in %.1f ms (exit %d)", wall_ms, exit_code);
+    if (!trace_path.empty() && !obs::Trace::stopToFile(trace_path)) {
+      FSDEP_LOG_ERROR("cli", "cannot write trace file %s", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) {
+        out << obs::Registry::global().renderJson();
+      } else {
+        FSDEP_LOG_ERROR("cli", "cannot write metrics file %s", metrics_path.c_str());
+      }
+    }
+    if (!report_path.empty() && !report.writeFile(report_path)) {
+      FSDEP_LOG_ERROR("cli", "cannot write report file %s", report_path.c_str());
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,13 +622,16 @@ int main(int argc, char** argv) {
 
   // Global options, accepted by every command and stripped before
   // dispatch. --jobs overrides the FSDEP_JOBS environment variable;
-  // --stats prints pipeline perf counters to stderr on exit.
+  // --stats prints pipeline perf counters to stderr on exit; --trace /
+  // --metrics / --report write observability files; --log overrides the
+  // FSDEP_LOG environment variable.
   struct StatsPrinter {
     bool enabled = false;
     ~StatsPrinter() {
       if (enabled) std::fputs(corpus::pipelineStatsSnapshot().format().c_str(), stderr);
     }
   } stats_printer;
+  ObsSession obs;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--stats") {
       stats_printer.enabled = true;
@@ -407,169 +650,41 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
+    if ((args[i] == "--trace" || args[i] == "--metrics" || args[i] == "--report") &&
+        i + 1 < args.size()) {
+      std::string& path = args[i] == "--trace" ? obs.trace_path
+                          : args[i] == "--metrics" ? obs.metrics_path
+                                                   : obs.report_path;
+      path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    if (args[i] == "--log" && i + 1 < args.size()) {
+      const obs::LogLevel parsed =
+          obs::parseLogLevel(args[i + 1].c_str(), obs::LogLevel::Off);
+      if (parsed == obs::LogLevel::Off && args[i + 1] != "off") {
+        std::fprintf(stderr, "--log wants debug|info|warn|error|off, got '%s'\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      obs::setLogLevel(parsed);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     ++i;
   }
 
+  obs.start(command, args);
+  int code = 0;
   try {
-    if (command == "extract") return cmdExtract(args);
-    if (command == "table2") {
-      std::fputs(study::formatTable2(study::runCoverageStudy()).c_str(), stdout);
-      return 0;
-    }
-    if (command == "table3") {
-      std::fputs(study::formatTable3().c_str(), stdout);
-      return 0;
-    }
-    if (command == "table4") {
-      std::fputs(study::formatTable4().c_str(), stdout);
-      return 0;
-    }
-    if (command == "table5") {
-      std::fputs(corpus::formatTable5(corpus::runTable5()).c_str(), stdout);
-      return 0;
-    }
-    if (command == "docck") {
-      const tools::DocCheckReport report = tools::runCorpusDocCheck();
-      std::printf("%s\n", report.summary().c_str());
-      for (const tools::DocIssue& issue : report.issues) {
-        std::printf("  [%s] %s\n", tools::docIssueKindName(issue.kind),
-                    issue.explanation.c_str());
-      }
-      return 0;
-    }
-    if (command == "handleck") {
-      const tools::HandleCheckReport report = tools::runCorpusHandleCheck();
-      std::printf("%s\n", report.summary().c_str());
-      for (const tools::HandleCase& c : report.cases) {
-        if (c.outcome == tools::HandleOutcome::Corruption ||
-            c.outcome == tools::HandleOutcome::SilentAccept) {
-          std::printf("  [%s] %s\n      %s\n", tools::handleOutcomeName(c.outcome),
-                      c.description.c_str(), c.detail.c_str());
-        }
-      }
-      return 0;
-    }
-    if (command == "bugck") {
-      const int runs = static_cast<int>(std::strtol(flagValue(args, "--runs", "100").c_str(),
-                                                    nullptr, 10));
-      const std::vector<model::Dependency> deps = corpus::runTable5().unique_deps;
-      const tools::CampaignResult naive = tools::runCampaign(runs, false, deps);
-      const tools::CampaignResult aware = tools::runCampaign(runs, true, deps);
-      std::fputs(tools::formatCampaignComparison(naive, aware).c_str(), stdout);
-      return 0;
-    }
-    if (command == "figure1") return cmdFigure1();
-    if (command == "crashck") return cmdCrashCk(args);
-    if (command == "xfs") {
-      const extract::ExtractOptions options = corpus::xfsExtractOptions();
-      const auto deps =
-          corpus::runScenario(corpus::xfsScenario(), taint::AnalysisOptions{}, &options);
-      if (hasFlag(args, "--json")) {
-        std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
-      } else {
-        for (const model::Dependency& dep : deps) std::printf("%s\n", dep.summary().c_str());
-        std::printf("\n%zu dependencies extracted from the XFS ecosystem\n", deps.size());
-      }
-      return 0;
-    }
-    if (command == "bugs") {
-      if (hasFlag(args, "--json")) {
-        json::Array cases;
-        for (const study::BugCase& bug : study::bugCases()) {
-          json::Object o;
-          o["id"] = bug.id;
-          o["scenario"] = bug.scenario;
-          o["title"] = bug.title;
-          json::Array dep_ids;
-          for (const std::string& id : bug.dependency_ids) dep_ids.emplace_back(id);
-          o["dependencies"] = std::move(dep_ids);
-          cases.push_back(std::move(o));
-        }
-        json::Object root;
-        root["bugs"] = std::move(cases);
-        std::fputs(json::writePretty(root).c_str(), stdout);
-      } else {
-        for (const study::BugCase& bug : study::bugCases()) {
-          std::printf("%-12s [%s] %s\n", bug.id.c_str(), bug.scenario.c_str(),
-                      bug.title.c_str());
-        }
-        std::printf("\n%zu bug cases\n", study::bugCases().size());
-      }
-      return 0;
-    }
-    if (command == "explain") {
-      if (args.empty()) {
-        std::fprintf(stderr, "explain: which parameter? (e.g. mke2fs.sparse_super2)\n");
-        return 2;
-      }
-      const std::string& param = args[0];
-      const corpus::Table5Result result = corpus::runTable5();
-      const model::Parameter* registered = corpus::ecosystem().findParameter(param);
-      if (registered != nullptr) {
-        std::printf("%s  (%s, %s stage): %s\n\n", param.c_str(), registered->flag.c_str(),
-                    model::configStageName(registered->stage), registered->description.c_str());
-      } else {
-        std::printf("%s  (not in the parameter registry)\n\n", param.c_str());
-      }
-      int shown = 0;
-      for (const model::Dependency& dep : result.unique_deps) {
-        if (dep.param != param && dep.other_param != param) continue;
-        std::printf("  %s\n", dep.summary().c_str());
-        for (const std::string& step : dep.trace) std::printf("      %s\n", step.c_str());
-        ++shown;
-      }
-      bool documented = false;
-      for (const corpus::ManualEntry& entry : corpus::allManuals()) {
-        if (entry.claim.param == param || entry.claim.other_param == param) {
-          std::printf("  manual: \"%s\"\n", entry.text.c_str());
-          documented = true;
-        }
-      }
-      if (shown == 0) std::puts("  no extracted dependencies involve this parameter");
-      if (!documented) std::puts("  no manual claim mentions this parameter");
-      return 0;
-    }
-    if (command == "graph") {
-      const corpus::Table5Result result = corpus::runTable5();
-      tools::GraphOptions options;
-      options.include_self_deps = hasFlag(args, "--self-deps");
-      std::fputs(tools::renderDependencyGraphDot(result.unique_deps, options).c_str(), stdout);
-      return 0;
-    }
-    if (command == "check") return cmdCheck(args);
-    if (command == "export-corpus") {
-      if (args.empty()) {
-        std::fprintf(stderr, "export-corpus: need a target directory\n");
-        return 2;
-      }
-      const std::string dir = args[0];
-      auto writeFile = [&](const std::string& name, std::string_view text) {
-        const std::string out_path = dir + "/" + name;
-        std::ofstream out(out_path);
-        if (!out) {
-          std::fprintf(stderr, "cannot write %s (does the directory exist?)\n",
-                       out_path.c_str());
-          std::exit(1);
-        }
-        out << text;
-        std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
-      };
-      for (const char* header : {"ext4_fs.h", "fsdep_libc.h", "xfs_fs.h", "btrfs_fs.h"}) {
-        writeFile(header, *corpus::headerSource(header));
-      }
-      for (const auto& names : {corpus::componentNames(), corpus::xfsComponentNames(),
-                                corpus::btrfsComponentNames()}) {
-        for (const std::string& component : names) {
-          writeFile(component + ".c", corpus::componentSource(component));
-        }
-      }
-      return 0;
-    }
-    if (command == "dump-ast") return cmdDumpAst(args);
-    if (command == "dump-cfg") return cmdDumpCfg(args);
+    code = runCommand(command, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsdep: %s\n", e.what());
-    return 1;
+    FSDEP_LOG_ERROR("cli", "%s: %s", command.c_str(), e.what());
+    code = 1;
   }
-  return usage();
+  obs.finish(code);
+  return code;
 }

@@ -6,11 +6,15 @@
 #include "ast/parser.h"
 #include "corpus/corpus.h"
 #include "lex/preprocessor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsdep::corpus {
 
 std::shared_ptr<const ComponentEntry> ComponentCache::build(
     const std::string& name, const taint::AnalysisOptions& options) {
+  obs::Span span("pipeline", "parse");
+  span.arg("component", name);
   const auto start = std::chrono::steady_clock::now();
 
   auto entry = std::make_shared<ComponentEntry>();
@@ -53,6 +57,10 @@ std::shared_ptr<const ComponentEntry> ComponentCache::build(
 
 std::shared_ptr<const ComponentEntry> ComponentCache::get(
     const std::string& name, const taint::AnalysisOptions& options, bool* built) {
+  static obs::Counter& hit_counter = obs::Registry::global().counter("cache.hits");
+  static obs::Counter& miss_counter = obs::Registry::global().counter("cache.misses");
+  static obs::Counter& wait_counter = obs::Registry::global().counter("cache.waits");
+
   std::shared_future<std::shared_ptr<const ComponentEntry>> future;
   std::promise<std::shared_ptr<const ComponentEntry>> promise;
   bool is_builder = false;
@@ -61,11 +69,13 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
     const auto it = slots_.find(name);
     if (it != slots_.end() && it->second.options == options) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.add();
       future = it->second.future;
     } else {
       // First request, or an options mismatch: (re)build. Prior waiters
       // keep their shared_future; this slot now serves the new options.
       misses_.fetch_add(1, std::memory_order_relaxed);
+      miss_counter.add();
       future = promise.get_future().share();
       slots_[name] = Slot{options, future};
       is_builder = true;
@@ -74,11 +84,29 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
 
   if (built != nullptr) *built = is_builder;
   if (is_builder) {
+    if (obs::Trace::enabled()) {
+      std::string args;
+      obs::appendArg(args, "component", name);
+      obs::Trace::instant("cache", "cache-miss", std::move(args));
+    }
     try {
       promise.set_value(build(name, options));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
+  } else if (obs::Trace::enabled()) {
+    std::string args;
+    obs::appendArg(args, "component", name);
+    obs::Trace::instant("cache", "cache-hit", std::move(args));
+  }
+  // A hit whose entry is still being parsed by another thread blocks
+  // here; make that wait visible — it is the cache's whole contention
+  // story (one parse, N waiters).
+  if (!is_builder && future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    wait_counter.add();
+    obs::Span wait_span("cache", "cache-wait");
+    wait_span.arg("component", name);
+    return future.get();
   }
   return future.get();  // rethrows the builder's exception for every waiter
 }

@@ -61,6 +61,9 @@ class ComponentCache {
   static std::shared_ptr<const ComponentEntry> build(const std::string& name,
                                                      const taint::AnalysisOptions& options);
 
+  /// Per-instance cache traffic. get() also mirrors these into the obs
+  /// metrics registry ("cache.hits"/"cache.misses"/"cache.waits"), so
+  /// --metrics and --report see the same numbers --stats prints.
   [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::size_t size() const;

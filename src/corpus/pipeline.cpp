@@ -1,10 +1,11 @@
 #include "corpus/pipeline.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
 
@@ -19,23 +20,12 @@ std::uint64_t elapsedNs(Clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
 }
 
-/// Process-global perf accumulators; every field is monotonic except
-/// `jobs`, which records the width of the most recent parallel section.
-struct StatsRegistry {
-  std::atomic<std::uint64_t> analyze_ns{0};
-  std::atomic<std::uint64_t> extract_ns{0};
-  std::atomic<std::uint64_t> uncached_parse_ns{0};
-  std::atomic<std::uint64_t> components_analyzed{0};
-  std::atomic<std::uint64_t> merge_calls{0};
-  std::atomic<std::uint64_t> merge_grew{0};
-  std::atomic<std::uint64_t> cached_parse_ns{0};  ///< parse time of cache misses we triggered
-  std::atomic<std::size_t> jobs{1};
-};
-
-StatsRegistry& statsRegistry() {
-  static StatsRegistry registry;
-  return registry;
-}
+// All pipeline perf counters live in the obs metrics registry under the
+// "pipeline." prefix — every mutation is a relaxed atomic add on a
+// registered instrument, so concurrent pipeline runs and snapshots
+// never race or tear (the seed's plain-uint64 aggregates did).
+// Per-dimension series are labeled; --stats aggregates with counterSum.
+obs::Registry& reg() { return obs::Registry::global(); }
 
 std::size_t resolveJobs(const PipelineOptions& pipeline) {
   return pipeline.jobs == 0 ? ThreadPool::globalJobs() : pipeline.jobs;
@@ -50,11 +40,13 @@ AnalyzedComponent::AnalyzedComponent(std::string name,
     bool built = false;
     entry_ = ComponentCache::global().get(name, taint_options, &built);
     if (built) {
-      statsRegistry().cached_parse_ns.fetch_add(entry_->parse_ns, std::memory_order_relaxed);
+      reg().counter("pipeline.parse_ns", {{"component", name}, {"mode", "cached"}})
+          .add(entry_->parse_ns);
     }
   } else {
     entry_ = ComponentCache::build(name, taint_options);
-    statsRegistry().uncached_parse_ns.fetch_add(entry_->parse_ns, std::memory_order_relaxed);
+    reg().counter("pipeline.parse_ns", {{"component", name}, {"mode", "fresh"}})
+        .add(entry_->parse_ns);
   }
   analyzer_ = std::make_unique<taint::Analyzer>(*entry_->tu, *entry_->sema, taint_options);
   for (const taint::Seed& seed : entry_->seeds) {
@@ -73,11 +65,11 @@ void AnalyzedComponent::analyze(const std::vector<std::string>& function_names) 
   }
   const auto start = Clock::now();
   analyzer_->run(fns);
-  StatsRegistry& stats = statsRegistry();
-  stats.analyze_ns.fetch_add(elapsedNs(start), std::memory_order_relaxed);
-  stats.components_analyzed.fetch_add(1, std::memory_order_relaxed);
-  stats.merge_calls.fetch_add(analyzer_->mergeCalls(), std::memory_order_relaxed);
-  stats.merge_grew.fetch_add(analyzer_->mergeGrew(), std::memory_order_relaxed);
+  const obs::Labels by_component{{"component", entry_->name}};
+  reg().counter("pipeline.analyze_ns", by_component).add(elapsedNs(start));
+  reg().counter("pipeline.components_analyzed", by_component).add(1);
+  reg().counter("pipeline.merge_calls", by_component).add(analyzer_->mergeCalls());
+  reg().counter("pipeline.merge_grew", by_component).add(analyzer_->mergeGrew());
 }
 
 extract::ComponentRun AnalyzedComponent::asRun() const {
@@ -109,6 +101,9 @@ std::vector<std::unique_ptr<AnalyzedComponent>> analyzeScenarioComponents(
 
   std::vector<std::unique_ptr<AnalyzedComponent>> components(items.size());
   ThreadPool::parallelFor(items.size(), resolveJobs(pipeline), [&](std::size_t i) {
+    obs::Span span("pipeline", "analyze");
+    span.arg("scenario", scenario.id);
+    span.arg("component", *items[i].component);
     auto analyzed = std::make_unique<AnalyzedComponent>(*items[i].component, taint_options,
                                                         pipeline.use_cache);
     analyzed->analyze(*items[i].functions);
@@ -119,13 +114,17 @@ std::vector<std::unique_ptr<AnalyzedComponent>> analyzeScenarioComponents(
 
 std::vector<model::Dependency> extractFrom(
     const std::vector<std::unique_ptr<AnalyzedComponent>>& components,
-    const extract::ExtractOptions& options) {
+    const extract::ExtractOptions& options, const std::string& scenario_id) {
+  obs::Span span("pipeline", "extract");
+  span.arg("scenario", scenario_id);
   std::vector<extract::ComponentRun> runs;
   runs.reserve(components.size());
   for (const auto& component : components) runs.push_back(component->asRun());
   const auto start = Clock::now();
   std::vector<model::Dependency> deps = extract::extractDependencies(runs, options);
-  statsRegistry().extract_ns.fetch_add(elapsedNs(start), std::memory_order_relaxed);
+  const obs::Labels by_scenario{{"scenario", scenario_id}};
+  reg().counter("pipeline.extract_ns", by_scenario).add(elapsedNs(start));
+  reg().counter("pipeline.deps_extracted", by_scenario).add(deps.size());
   return deps;
 }
 
@@ -135,18 +134,22 @@ std::vector<model::Dependency> runScenario(const Scenario& scenario,
                                            const taint::AnalysisOptions& taint_options,
                                            const extract::ExtractOptions* extract_override,
                                            const PipelineOptions& pipeline) {
-  statsRegistry().jobs.store(resolveJobs(pipeline), std::memory_order_relaxed);
+  obs::Span span("pipeline", "scenario");
+  span.arg("scenario", scenario.id);
+  reg().gauge("pipeline.jobs").set(resolveJobs(pipeline));
   const auto components = analyzeScenarioComponents(scenario, taint_options, pipeline);
   const extract::ExtractOptions options =
       extract_override != nullptr ? *extract_override : extractOptions();
-  return extractFrom(components, options);
+  return extractFrom(components, options, scenario.id);
 }
 
 Table5Result runTable5(const taint::AnalysisOptions& taint_options,
                        const extract::ExtractOptions* extract_override,
                        const PipelineOptions& pipeline) {
+  obs::Span table5_span("pipeline", "table5");
   const std::size_t jobs = resolveJobs(pipeline);
-  statsRegistry().jobs.store(jobs, std::memory_order_relaxed);
+  table5_span.arg("jobs", static_cast<std::uint64_t>(jobs));
+  reg().gauge("pipeline.jobs").set(jobs);
 
   const std::vector<Scenario> scenario_list = scenarios();
   const extract::ExtractOptions options =
@@ -176,6 +179,9 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
 
   ThreadPool::parallelFor(pairs.size(), jobs, [&](std::size_t i) {
     const Pair& pair = pairs[i];
+    obs::Span span("pipeline", "analyze");
+    span.arg("scenario", scenario_list[pair.scenario].id);
+    span.arg("component", *pair.component);
     auto component = std::make_unique<AnalyzedComponent>(*pair.component, taint_options,
                                                          pipeline.use_cache);
     component->analyze(*pair.functions);
@@ -190,7 +196,7 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
     ScenarioResult sr;
     sr.id = scenario_list[s].id;
     sr.title = scenario_list[s].title;
-    sr.deps = extractFrom(analyzed[s], options);
+    sr.deps = extractFrom(analyzed[s], options, sr.id);
     sr.score = extract::scoreScenario(sr.id, sr.deps, groundTruth());
     result.per_scenario[s] = std::move(sr);
   });
@@ -208,31 +214,26 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
 }
 
 PipelineStats pipelineStatsSnapshot() {
-  const StatsRegistry& registry = statsRegistry();
+  const obs::Registry& registry = reg();
   PipelineStats stats;
-  stats.parse_ns = registry.cached_parse_ns.load(std::memory_order_relaxed) +
-                   registry.uncached_parse_ns.load(std::memory_order_relaxed);
-  stats.analyze_ns = registry.analyze_ns.load(std::memory_order_relaxed);
-  stats.extract_ns = registry.extract_ns.load(std::memory_order_relaxed);
-  stats.components_analyzed = registry.components_analyzed.load(std::memory_order_relaxed);
-  stats.merge_calls = registry.merge_calls.load(std::memory_order_relaxed);
-  stats.merge_grew = registry.merge_grew.load(std::memory_order_relaxed);
+  stats.parse_ns = registry.counterSum("pipeline.parse_ns");
+  stats.analyze_ns = registry.counterSum("pipeline.analyze_ns");
+  stats.extract_ns = registry.counterSum("pipeline.extract_ns");
+  stats.components_analyzed = registry.counterSum("pipeline.components_analyzed");
+  stats.merge_calls = registry.counterSum("pipeline.merge_calls");
+  stats.merge_grew = registry.counterSum("pipeline.merge_grew");
   stats.cache_hits = ComponentCache::global().hits();
   stats.cache_misses = ComponentCache::global().misses();
-  stats.jobs = registry.jobs.load(std::memory_order_relaxed);
+  stats.jobs = static_cast<std::size_t>(registry.gaugeValue("pipeline.jobs"));
+  if (stats.jobs == 0) stats.jobs = 1;  // snapshot before any run
   return stats;
 }
 
 void resetPipelineStats() {
-  StatsRegistry& registry = statsRegistry();
-  registry.analyze_ns.store(0, std::memory_order_relaxed);
-  registry.extract_ns.store(0, std::memory_order_relaxed);
-  registry.uncached_parse_ns.store(0, std::memory_order_relaxed);
-  registry.cached_parse_ns.store(0, std::memory_order_relaxed);
-  registry.components_analyzed.store(0, std::memory_order_relaxed);
-  registry.merge_calls.store(0, std::memory_order_relaxed);
-  registry.merge_grew.store(0, std::memory_order_relaxed);
-  registry.jobs.store(1, std::memory_order_relaxed);
+  // Zeroes the pipeline's own series only: cache traffic (like the
+  // ComponentCache contents themselves) survives a stats reset.
+  reg().reset("pipeline.");
+  reg().gauge("pipeline.jobs").set(1);
 }
 
 std::string PipelineStats::format() const {

@@ -85,8 +85,12 @@ struct PipelineOptions {
 
 /// Cumulative perf counters of every pipeline run in this process
 /// (parse/analyze/extract wall time, fixpoint merges, cache traffic).
-/// Snapshot with pipelineStatsSnapshot(); the CLI prints them under
-/// --stats.
+/// A text-format view over the obs metrics registry's "pipeline.*" and
+/// "cache.*" series (see src/obs/metrics.h) — all storage is relaxed
+/// atomics in the registry, so concurrent runs, snapshots and resets
+/// never tear. Snapshot with pipelineStatsSnapshot(); the CLI prints
+/// the (byte-stable) text rendering under --stats, and the full labeled
+/// series under --metrics.
 struct PipelineStats {
   std::uint64_t parse_ns = 0;
   std::uint64_t analyze_ns = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fsdep::fsim {
 
 namespace {
@@ -13,6 +16,35 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
+}
+
+// Process-wide device traffic, aggregated over every BlockDevice in the
+// run (CrashCk creates thousands of short-lived devices; per-instance
+// numbers stay available via readCount()/writeCount()).
+obs::Counter& writesCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("fsim.device.writes");
+  return c;
+}
+obs::Counter& readsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("fsim.device.reads");
+  return c;
+}
+obs::Counter& retriesCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("fsim.device.retries");
+  return c;
+}
+
+/// A fault-plan firing: counted always, traced as an instant event when
+/// tracing is on (these are the interesting moments of a CrashCk run).
+void noteFaultFired(const char* kind, std::uint64_t write_index) {
+  static obs::Registry& registry = obs::Registry::global();
+  registry.counter("fsim.fault.fired", {{"kind", kind}}).add();
+  if (obs::Trace::enabled()) {
+    std::string args;
+    obs::appendArg(args, "kind", kind);
+    obs::appendArg(args, "write_index", write_index);
+    obs::Trace::instant("fsim", "fault-fired", std::move(args));
+  }
 }
 
 }  // namespace
@@ -53,6 +85,7 @@ void BlockDevice::attemptWrite(std::uint64_t offset, std::span<const std::uint8_
   if (plan_) {
     if (plan_->fail_after_writes && plan_write_index_ >= *plan_->fail_after_writes) {
       dead_ = true;
+      noteFaultFired("fail_after", plan_write_index_);
       throw IoError("device failed after " + std::to_string(*plan_->fail_after_writes) +
                     " writes");
     }
@@ -61,6 +94,7 @@ void BlockDevice::attemptWrite(std::uint64_t offset, std::span<const std::uint8_
       const std::size_t keep = tornPrefixLength(data.size());
       if (keep > 0) std::memcpy(data_.data() + offset, data.data(), keep);
       frozen_ = true;
+      noteFaultFired("crash", plan_write_index_);
       throw IoError("crash injected at write index " +
                     std::to_string(*plan_->crash_at_write) + " (" + std::to_string(keep) +
                     " of " + std::to_string(data.size()) + " bytes persisted)");
@@ -68,6 +102,7 @@ void BlockDevice::attemptWrite(std::uint64_t offset, std::span<const std::uint8_
     for (TransientFault& t : plan_->transients) {
       if (t.on_write && t.failures > 0 && t.block == block) {
         --t.failures;
+        noteFaultFired("transient_write", plan_write_index_);
         throw IoError("transient write error at block " + std::to_string(block));
       }
     }
@@ -78,6 +113,7 @@ void BlockDevice::attemptWrite(std::uint64_t offset, std::span<const std::uint8_
   std::memcpy(data_.data() + offset, data.data(), data.size());
   ++writes_;
   ++plan_write_index_;
+  writesCounter().add();
 }
 
 void BlockDevice::attemptRead(std::uint64_t offset, std::span<std::uint8_t> out,
@@ -87,6 +123,7 @@ void BlockDevice::attemptRead(std::uint64_t offset, std::span<std::uint8_t> out,
     for (TransientFault& t : plan_->transients) {
       if (!t.on_write && t.failures > 0 && t.block == block) {
         --t.failures;
+        noteFaultFired("transient_read", plan_write_index_);
         throw IoError("transient read error at block " + std::to_string(block));
       }
     }
@@ -96,6 +133,7 @@ void BlockDevice::attemptRead(std::uint64_t offset, std::span<std::uint8_t> out,
   }
   std::memcpy(out.data(), data_.data() + offset, out.size());
   ++reads_;
+  readsCounter().add();
 }
 
 void BlockDevice::readBlock(std::uint32_t block, std::span<std::uint8_t> out) const {
@@ -108,6 +146,7 @@ void BlockDevice::readBlock(std::uint32_t block, std::span<std::uint8_t> out) co
     } catch (const IoError&) {
       if (frozen_ || attempt >= retry_policy_.max_attempts) throw;
       ++retries_;
+      retriesCounter().add();
       backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
                         << (attempt - 1);
     }
@@ -124,6 +163,7 @@ void BlockDevice::writeBlock(std::uint32_t block, std::span<const std::uint8_t> 
     } catch (const IoError&) {
       if (frozen_ || dead_ || attempt >= retry_policy_.max_attempts) throw;
       ++retries_;
+      retriesCounter().add();
       backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
                         << (attempt - 1);
     }
@@ -140,6 +180,7 @@ void BlockDevice::readBytes(std::uint64_t offset, std::span<std::uint8_t> out) c
     } catch (const IoError&) {
       if (frozen_ || attempt >= retry_policy_.max_attempts) throw;
       ++retries_;
+      retriesCounter().add();
       backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
                         << (attempt - 1);
     }
@@ -156,6 +197,7 @@ void BlockDevice::writeBytes(std::uint64_t offset, std::span<const std::uint8_t>
     } catch (const IoError&) {
       if (frozen_ || dead_ || attempt >= retry_policy_.max_attempts) throw;
       ++retries_;
+      retriesCounter().add();
       backoff_ticks_ += static_cast<std::uint64_t>(retry_policy_.backoff_base)
                         << (attempt - 1);
     }

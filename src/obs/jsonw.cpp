@@ -1,0 +1,134 @@
+#include "obs/jsonw.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace fsdep::obs {
+
+void appendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::preValue() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    assert(pending_key_ && "JSON object value without a key");
+  } else if (top.has_entries) {
+    out_ += ',';
+  }
+  top.has_entries = true;
+  pending_key_ = false;
+}
+
+void JsonWriter::beginObject() {
+  preValue();
+  out_ += '{';
+  stack_.push_back(Frame{/*is_object=*/true, /*has_entries=*/false});
+}
+
+void JsonWriter::endObject() {
+  assert(!stack_.empty() && stack_.back().is_object);
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::beginArray() {
+  preValue();
+  out_ += '[';
+  stack_.push_back(Frame{/*is_object=*/false, /*has_entries=*/false});
+}
+
+void JsonWriter::endArray() {
+  assert(!stack_.empty() && !stack_.back().is_object);
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().is_object && !pending_key_);
+  if (stack_.back().has_entries) out_ += ',';
+  stack_.back().has_entries = true;
+  appendJsonString(out_, name);
+  out_ += ':';
+  pending_key_ = true;
+  // preValue() must not add another comma for this entry.
+  stack_.back().has_entries = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  preValue();
+  appendJsonString(out_, s);
+}
+
+void JsonWriter::value(bool b) {
+  preValue();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(std::int64_t i) {
+  preValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, i);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  preValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, u);
+  out_ += buf;
+}
+
+void JsonWriter::value(double d) {
+  preValue();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ += buf;
+}
+
+void JsonWriter::valueNull() {
+  preValue();
+  out_ += "null";
+}
+
+void JsonWriter::rawValue(std::string_view json) {
+  preValue();
+  out_ += json;
+}
+
+}  // namespace fsdep::obs

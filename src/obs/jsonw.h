@@ -1,0 +1,69 @@
+// Minimal JSON emitter for the observability layer. obs sits *below*
+// fsdep_support in the link order (the ThreadPool is instrumented with
+// it), so it cannot use fsdep_json; trace files, metric dumps and run
+// reports are small enough that an append-only writer with a comma
+// stack is all we need. Output is always valid JSON: strings are
+// escaped, doubles are emitted with enough digits to round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsdep::obs {
+
+/// Appends `text` to `out` as a JSON string literal (quotes included).
+void appendJsonString(std::string& out, std::string_view text);
+
+/// Structured append-only JSON writer. Keys and values must alternate
+/// inside objects; the writer inserts commas and quotes. Misuse (a value
+/// with no key inside an object) is a programming error and asserts in
+/// debug builds only — the emitter never throws.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.reserve(8); }
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Starts a key inside the current object.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(double d);
+  void valueNull();
+
+  /// Appends `json` verbatim as a value. The caller guarantees it is a
+  /// well-formed JSON value (used to splice pre-rendered fragments).
+  void rawValue(std::string_view json);
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void preValue();
+
+  struct Frame {
+    bool is_object = false;
+    bool has_entries = false;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fsdep::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fsdep::taint {
 
 using namespace ast;
@@ -146,6 +149,8 @@ void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
 }
 
 void Analyzer::analyzeFunction(FunctionTaint& result) {
+  obs::Span span("taint", "fixpoint");
+  span.arg("function", result.fn->name);
   const cfg::Cfg& cfg = *result.cfg;
   result.block_entry.assign(cfg.size(), TaintState{});
   result.at_condition.assign(cfg.size(), TaintState{});
@@ -176,6 +181,13 @@ void Analyzer::analyzeFunction(FunctionTaint& result) {
       }
     }
   }
+  // `iterations` counts sweeps over the CFG until nothing grew (or the
+  // safety valve tripped); the histogram shows how close functions sit
+  // to the 64-sweep cap.
+  static obs::Histogram& fixpoint_iterations = obs::Registry::global().histogram(
+      "taint.fixpoint_iterations", {}, {1, 2, 3, 4, 6, 8, 16, 32, 64});
+  fixpoint_iterations.observe(static_cast<std::uint64_t>(iterations));
+  span.arg("iterations", static_cast<std::uint64_t>(iterations));
 
   // Publish the union of the post-statement states at the exits (the
   // record/trace side effects are idempotent, so replaying is safe).

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 #include "fsim/coverage.h"
 #include "fsim/defrag.h"
 #include "fsim/fsck.h"
@@ -251,6 +254,8 @@ GeneratedConfig ConfigGenerator::dependencyAwareConfig(
 
 CampaignResult runCampaign(int runs, bool dependency_aware,
                            const std::vector<model::Dependency>& deps, std::uint64_t seed) {
+  obs::Span span("conbugck", "campaign");
+  span.arg("mode", dependency_aware ? "dep-aware" : "naive");
   ConfigGenerator gen(seed);
   CampaignResult result;
   result.runs = runs;
@@ -300,6 +305,11 @@ CampaignResult runCampaign(int runs, bool dependency_aware,
   }
 
   result.coverage_points = CoverageRegistry::instance().points();
+  FSDEP_LOG_INFO("conbugck",
+                 "%s campaign: %d run(s), %d past mkfs, %d past mount, %d complete, "
+                 "%zu coverage point(s)",
+                 dependency_aware ? "dep-aware" : "naive", result.runs, result.mkfs_ok,
+                 result.mount_ok, result.pipeline_complete, result.coverage_points.size());
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "corpus/pipeline.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace fsdep::tools {
 
@@ -101,6 +103,7 @@ DocCheckReport checkDocumentation(const std::vector<Dependency>& code_deps,
 }
 
 DocCheckReport runCorpusDocCheck() {
+  obs::Span span("condocck", "doc-check");
   const corpus::Table5Result result = corpus::runTable5();
 
   // Keep only the true dependencies (drop scored false positives), as the
@@ -113,7 +116,10 @@ DocCheckReport runCorpusDocCheck() {
   for (const Dependency& dep : result.unique_deps) {
     if (!fp_keys.contains(dep.dedupKey())) true_deps.push_back(dep);
   }
-  return checkDocumentation(true_deps, corpus::allManuals());
+  DocCheckReport report = checkDocumentation(true_deps, corpus::allManuals());
+  FSDEP_LOG_INFO("condocck", "%zu true dependencies checked, %zu documentation issue(s)",
+                 true_deps.size(), report.issues.size());
+  return report;
 }
 
 }  // namespace fsdep::tools

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "corpus/pipeline.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "tools/crashck.h"
 #include "fsim/fsck.h"
 #include "fsim/mkfs.h"
@@ -240,6 +242,7 @@ HandleOutcome classifyResizeProbe(const MkfsOptions& mkfs_options, std::uint32_t
 }  // namespace
 
 HandleCheckReport runHandleCheck(const std::vector<Dependency>& deps) {
+  obs::Span span("conhandleck", "handle-check");
   HandleCheckReport report;
 
   for (const Dependency& dep : deps) {
@@ -401,6 +404,8 @@ HandleCheckReport runHandleCheck(const std::vector<Dependency>& deps) {
     }
     report.cases.push_back(std::move(hc));
   }
+  FSDEP_LOG_INFO("conhandleck", "%zu case(s): %s", report.cases.size(),
+                 report.summary().c_str());
   return report;
 }
 
@@ -450,6 +455,7 @@ HandleCase tuneProbe(const std::string& id, const std::string& description,
 }  // namespace
 
 HandleCheckReport runHandleCheckUnderFaults(std::uint64_t seed) {
+  obs::Span span("conhandleck", "handle-check-faults");
   struct FaultCase {
     const char* id;
     const char* op;
@@ -492,8 +498,11 @@ HandleCheckReport runHandleCheckUnderFaults(std::uint64_t seed) {
     } else {
       hc.outcome = HandleOutcome::BehavedConsistently;
     }
+    FSDEP_LOG_DEBUG("conhandleck", "%s: %s -> %s", fc.id, hc.detail.c_str(),
+                    handleOutcomeName(hc.outcome));
     report.cases.push_back(std::move(hc));
   }
+  FSDEP_LOG_INFO("conhandleck", "fault campaign: %s", report.summary().c_str());
   return report;
 }
 

@@ -2,6 +2,10 @@
 
 #include <functional>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include "fsim/defrag.h"
 #include "fsim/fsck.h"
 #include "fsim/image.h"
@@ -225,6 +229,8 @@ CrashOutcome classifyPostCrashImage(BlockDevice& device, const CrashCanary& cana
 }
 
 Result<CrashOpReport> runCrashOp(const std::string& op, std::uint64_t seed) {
+  obs::Span span("crashck", "crash-op");
+  span.arg("op", op);
   const OpSpec* spec = nullptr;
   for (const OpSpec& s : opSpecs()) {
     if (op == s.name) spec = &s;
@@ -268,8 +274,17 @@ Result<CrashOpReport> runCrashOp(const std::string& op, std::uint64_t seed) {
     point.write_index = index;
     point.control = control;
     point.outcome = classifyPostCrashImage(device, canary, point.detail);
+    obs::Registry::global()
+        .counter("crashck.outcome", {{"outcome", crashOutcomeName(point.outcome)}})
+        .add();
+    FSDEP_LOG_DEBUG("crashck", "%s write %llu%s -> %s", op.c_str(),
+                    static_cast<unsigned long long>(point.write_index),
+                    point.control ? " (control)" : "", crashOutcomeName(point.outcome));
     report.points.push_back(std::move(point));
   }
+  FSDEP_LOG_INFO("crashck", "%s: %llu writes, %s", op.c_str(),
+                 static_cast<unsigned long long>(report.total_writes),
+                 report.histogram().c_str());
   return report;
 }
 

@@ -3,6 +3,9 @@
 #include <map>
 #include <set>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace fsdep::tools {
 
 namespace {
@@ -22,6 +25,7 @@ std::string componentOf(const std::string& qualified) {
 
 std::string renderDependencyGraphDot(const std::vector<model::Dependency>& deps,
                                      const GraphOptions& options) {
+  obs::Span span("depgraph", "render-dot");
   std::string out = "digraph fsdep {\n";
   out += "  rankdir=LR;\n";
   out += "  node [shape=box, fontname=\"monospace\"];\n";
@@ -76,6 +80,10 @@ std::string renderDependencyGraphDot(const std::vector<model::Dependency>& deps,
 
   out += edges;
   out += "}\n";
+  std::size_t node_count = 0;
+  for (const auto& [component, nodes] : nodes_by_component) node_count += nodes.size();
+  FSDEP_LOG_DEBUG("depgraph", "%zu dependencies -> %zu node(s) in %zu component(s)",
+                  deps.size(), node_count, nodes_by_component.size());
   return out;
 }
 

@@ -1,0 +1,159 @@
+// End-to-end checks of the CLI observability flags, driving the real
+// fsdep binary (FSDEP_CLI_PATH, injected by CMake): --trace / --metrics
+// / --report produce valid JSON files, instrumentation never perturbs
+// stdout, and --stats keeps stdout machine-parseable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "json/json.h"
+
+namespace fsdep {
+namespace {
+
+std::string cliPath() { return FSDEP_CLI_PATH; }
+
+std::string tempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+/// Runs `command`, returning its stdout; stderr goes to `err_path`
+/// (or /dev/null). Fails the test on a nonzero exit.
+std::string runCli(const std::string& args, const std::string& err_path = "/dev/null") {
+  const std::string command = cliPath() + " " + args + " 2>" + err_path;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) out.append(buffer, n);
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << command << "\n" << out;
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+json::Value parseOrFail(const std::string& text, const std::string& what) {
+  Result<json::Value> parsed = json::parse(text);
+  EXPECT_TRUE(parsed.ok()) << what << " is not valid JSON:\n" << text.substr(0, 400);
+  return parsed.ok() ? std::move(parsed.value()) : json::Value();
+}
+
+TEST(CliObs, StatsKeepsStdoutPureJson) {
+  const std::string out = runCli("extract --scenario s3 --json --stats");
+  const json::Value parsed = parseOrFail(out, "extract --json --stats stdout");
+  ASSERT_TRUE(parsed.isObject());
+  EXPECT_TRUE(parsed.asObject().find("dependencies")->isArray());
+}
+
+TEST(CliObs, StatsTextKeepsItsShapeUnderTracing) {
+  // Timings vary run to run, so compare the format, not the bytes: the
+  // same headings must appear with and without tracing.
+  const std::string plain_err = tempPath("cli_obs_stats_plain.txt");
+  const std::string traced_err = tempPath("cli_obs_stats_traced.txt");
+  const std::string trace = tempPath("cli_obs_stats_trace.json");
+  runCli("table5 --stats", plain_err);
+  runCli("table5 --stats --trace " + trace, traced_err);
+  for (const std::string& path : {plain_err, traced_err}) {
+    const std::string stats = slurp(path);
+    EXPECT_NE(stats.find("pipeline stats: jobs="), std::string::npos) << stats;
+    EXPECT_NE(stats.find("parse"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("analyze"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("extract"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("cache:"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("merges"), std::string::npos) << stats;
+    EXPECT_EQ(std::count(stats.begin(), stats.end(), '\n'), 5) << stats;
+  }
+}
+
+TEST(CliObs, Table5StdoutIsByteIdenticalUnderInstrumentation) {
+  const std::string trace = tempPath("cli_obs_t5_trace.json");
+  const std::string metrics = tempPath("cli_obs_t5_metrics.json");
+  const std::string report = tempPath("cli_obs_t5_report.json");
+  const std::string plain = runCli("table5 --jobs 4");
+  const std::string instrumented = runCli("table5 --jobs 4 --trace " + trace +
+                                          " --metrics " + metrics + " --report " + report +
+                                          " --log debug");
+  EXPECT_EQ(plain, instrumented);
+
+  // --trace: a Chrome trace-event document with the promised spans.
+  const json::Value trace_doc = parseOrFail(slurp(trace), "trace file");
+  const json::Array& events = trace_doc.asObject().find("traceEvents")->asArray();
+  EXPECT_GT(events.size(), 20u);
+  std::set<std::string> analyze_pairs;
+  bool saw_queue_wait = false;
+  bool saw_cache = false;
+  bool saw_table5 = false;
+  for (const json::Value& ev : events) {
+    const json::Object& e = ev.asObject();
+    const std::string& name = e.find("name")->asString();
+    ASSERT_TRUE(e.contains("ph"));
+    ASSERT_TRUE(e.contains("ts"));
+    ASSERT_TRUE(e.contains("pid"));
+    ASSERT_TRUE(e.contains("tid"));
+    if (name == "analyze") {
+      const json::Object& args = e.find("args")->asObject();
+      ASSERT_TRUE(args.contains("scenario"));
+      ASSERT_TRUE(args.contains("component"));
+      analyze_pairs.insert(args.find("scenario")->asString() + ":" +
+                           args.find("component")->asString());
+    }
+    if (name == "queue-wait") saw_queue_wait = true;
+    if (e.find("cat")->asString() == "cache") saw_cache = true;
+    if (name == "table5") saw_table5 = true;
+  }
+  // Table 5 runs 4 scenarios over >= 2 components each; every pair gets
+  // its own analyze span.
+  EXPECT_GE(analyze_pairs.size(), 8u);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_cache);
+  EXPECT_TRUE(saw_table5);
+
+  // --metrics: the registry dump carries the pipeline series.
+  const json::Value metrics_doc = parseOrFail(slurp(metrics), "metrics file");
+  std::set<std::string> counter_names;
+  for (const json::Value& c : metrics_doc.asObject().find("counters")->asArray()) {
+    counter_names.insert(c.asObject().find("name")->asString());
+  }
+  EXPECT_TRUE(counter_names.contains("pipeline.analyze_ns"));
+  EXPECT_TRUE(counter_names.contains("pipeline.deps_extracted"));
+  EXPECT_TRUE(counter_names.contains("cache.hits") || counter_names.contains("cache.misses"));
+
+  // --report: versioned, carries the command line and the facts.
+  const json::Value report_doc = parseOrFail(slurp(report), "report file");
+  const json::Object& r = report_doc.asObject();
+  EXPECT_EQ(r.find("tool")->asString(), "fsdep");
+  EXPECT_EQ(r.find("command")->asString(), "table5");
+  EXPECT_EQ(r.find("exit_code")->asInt(), 0);
+  EXPECT_EQ(r.find("jobs")->asInt(), 4);
+  EXPECT_GT(r.find("wall_ms")->asDouble(), 0.0);
+  EXPECT_GT(r.find("facts")->asObject().find("unique_deps")->asInt(), 0);
+  EXPECT_TRUE(r.find("metrics")->asObject().contains("histograms"));
+}
+
+TEST(CliObs, LogFlagControlsStderr) {
+  const std::string quiet_err = tempPath("cli_obs_log_off.txt");
+  const std::string info_err = tempPath("cli_obs_log_info.txt");
+  runCli("extract --scenario s3 --log off", quiet_err);
+  runCli("extract --scenario s3 --log info", info_err);
+  EXPECT_EQ(slurp(quiet_err), "");
+  const std::string info = slurp(info_err);
+  EXPECT_NE(info.find("fsdep[info]"), std::string::npos) << info;
+}
+
+}  // namespace
+}  // namespace fsdep

@@ -1,0 +1,85 @@
+// Instrumentation must be invisible to the analysis: the dependencies a
+// pipeline run extracts are bit-identical whether tracing is on or off,
+// and the trace of a parallel Table 5 run carries the spans and cache
+// events the observability layer promises.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "corpus/pipeline.h"
+#include "model/serialization.h"
+#include "obs/trace.h"
+#include "support/thread_pool.h"
+
+namespace fsdep::corpus {
+namespace {
+
+/// The global pool defaults to hardware_concurrency threads, which can
+/// be 1 (CI containers); size it explicitly so the queue path — the one
+/// the queue-wait instrumentation lives on — actually runs.
+class ObsPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override { ThreadPool::setGlobalJobs(4); }
+  void TearDown() override { ThreadPool::setGlobalJobs(0); }
+};
+
+std::string depsJson(const Table5Result& result) {
+  json::Object root;
+  root["unique"] = model::toJson(result.unique_deps);
+  json::Array per_scenario;
+  for (const ScenarioResult& sr : result.per_scenario) {
+    per_scenario.push_back(model::toJson(sr.deps));
+  }
+  root["per_scenario"] = std::move(per_scenario);
+  return json::writePretty(root);
+}
+
+TEST_F(ObsPipeline, ExtractionIsIdenticalWithTracingOn) {
+  PipelineOptions pipeline;
+  pipeline.jobs = 4;
+
+  const std::string off = depsJson(runTable5({}, nullptr, pipeline));
+
+  obs::Trace::start();
+  const std::string on = depsJson(runTable5({}, nullptr, pipeline));
+  obs::Trace::stop();
+
+  EXPECT_EQ(off, on);
+}
+
+TEST_F(ObsPipeline, Table5TraceCarriesAnalyzeSpansAndCacheEvents) {
+  PipelineOptions pipeline;
+  pipeline.jobs = 4;
+
+  obs::Trace::start();
+  const Table5Result result = runTable5({}, nullptr, pipeline);
+  const std::vector<obs::TraceEvent> events = obs::Trace::snapshot();
+  obs::Trace::stop();
+  ASSERT_FALSE(result.per_scenario.empty());
+
+  // One "analyze" span per (scenario x component) pair, tagged with both.
+  std::set<std::string> analyzed;
+  bool saw_cache_event = false;
+  bool saw_queue_wait = false;
+  bool saw_parse_or_cached = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "analyze" && std::string(e.category) == "pipeline") {
+      EXPECT_NE(e.args_json.find("\"scenario\""), std::string::npos);
+      EXPECT_NE(e.args_json.find("\"component\""), std::string::npos);
+      analyzed.insert(e.args_json);
+    }
+    if (std::string(e.category) == "cache") saw_cache_event = true;
+    if (e.name == "queue-wait") saw_queue_wait = true;
+    if (e.name == "parse" || e.name == "cache-hit") saw_parse_or_cached = true;
+  }
+  std::size_t pairs = 0;
+  for (const Scenario& s : scenarios()) pairs += s.selection.size();
+  EXPECT_EQ(analyzed.size(), pairs);
+  EXPECT_TRUE(saw_cache_event);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_parse_or_cached);
+}
+
+}  // namespace
+}  // namespace fsdep::corpus

@@ -42,7 +42,8 @@ TEST(BugStudy, Table3RowS1) {
 }
 
 TEST(BugStudy, Table3RowS2) {
-  const ScenarioBugStats& s2 = aggregateTable3().at(1);
+  const auto stats = aggregateTable3();
+  const ScenarioBugStats& s2 = stats.at(1);
   EXPECT_EQ(s2.bugs, 1);
   EXPECT_EQ(s2.with_sd, 1);
   EXPECT_EQ(s2.with_cpd, 0);
@@ -50,7 +51,8 @@ TEST(BugStudy, Table3RowS2) {
 }
 
 TEST(BugStudy, Table3RowS3) {
-  const ScenarioBugStats& s3 = aggregateTable3().at(2);
+  const auto stats = aggregateTable3();
+  const ScenarioBugStats& s3 = stats.at(2);
   EXPECT_EQ(s3.bugs, 17);
   EXPECT_EQ(s3.with_sd, 17);
   EXPECT_EQ(s3.with_cpd, 0);
@@ -58,7 +60,8 @@ TEST(BugStudy, Table3RowS3) {
 }
 
 TEST(BugStudy, Table3RowS4) {
-  const ScenarioBugStats& s4 = aggregateTable3().at(3);
+  const auto stats = aggregateTable3();
+  const ScenarioBugStats& s4 = stats.at(3);
   EXPECT_EQ(s4.bugs, 36);
   EXPECT_EQ(s4.with_sd, 36);
   EXPECT_EQ(s4.with_cpd, 4);
