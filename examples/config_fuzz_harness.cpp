@@ -3,31 +3,43 @@
 // The extracted dependencies steer generation: random configurations are
 // repaired to satisfy every dependency, so each run survives the shallow
 // validation layers and exercises deep tool behaviour. The same harness
-// without repair shows why naive fuzzing stalls at mkfs.
+// without repair shows why naive fuzzing stalls at mkfs. The generator
+// itself lives in tools/confgen, shared with the campaign engine.
 //
-// Build & run:  ./examples/config_fuzz_harness [runs]
+// Build & run:  ./examples/config_fuzz_harness [runs] [--seed S]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "corpus/pipeline.h"
 #include "tools/conbugck.h"
+#include "tools/confgen/confgen.h"
 
 using namespace fsdep;
 
 int main(int argc, char** argv) {
-  const int runs = argc > 1 ? std::atoi(argv[1]) : 120;
+  int runs = 120;
+  std::uint64_t seed = 2024;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      runs = std::atoi(argv[i]);
+    }
+  }
 
   std::puts("Extracting the dependency set from the corpus...");
   const std::vector<model::Dependency> deps = corpus::runTable5().unique_deps;
   std::printf("  %zu dependencies steer the generator\n\n", deps.size());
 
   // Show one repaired configuration in detail.
-  tools::ConfigGenerator gen(2024);
+  tools::ConfigGenerator gen(seed);
   tools::GeneratedConfig raw = gen.randomConfig();
-  std::printf("A raw random configuration: blocksize=%u inode_size=%u reserved=%u%% "
-              "bigalloc=%d extents=%d meta_bg=%d resize_inode=%d\n",
-              raw.mkfs.block_size, raw.mkfs.inode_size, raw.mkfs.reserved_ratio,
-              raw.mkfs.bigalloc, raw.mkfs.extents, raw.mkfs.meta_bg, raw.mkfs.resize_inode);
+  std::printf("A raw random configuration (seed %llu): blocksize=%u inode_size=%u "
+              "reserved=%u%% bigalloc=%d extents=%d meta_bg=%d resize_inode=%d\n",
+              static_cast<unsigned long long>(seed), raw.mkfs.block_size, raw.mkfs.inode_size,
+              raw.mkfs.reserved_ratio, raw.mkfs.bigalloc, raw.mkfs.extents, raw.mkfs.meta_bg,
+              raw.mkfs.resize_inode);
   const auto raw_violations = fsim::MkfsTool::validate(raw.mkfs, 1ull << 30);
   std::printf("  violates %zu dependencies\n", raw_violations.size());
   for (const std::string& v : raw_violations) std::printf("    - %s\n", v.c_str());
@@ -43,8 +55,8 @@ int main(int argc, char** argv) {
   // Run both campaigns.
   std::printf("Driving %d configurations through mkfs -> mount -> files -> defrag -> "
               "resize -> fsck...\n\n", runs);
-  const tools::CampaignResult naive = tools::runCampaign(runs, false, deps);
-  const tools::CampaignResult aware = tools::runCampaign(runs, true, deps);
+  const tools::CampaignResult naive = tools::runCampaign(runs, false, deps, seed);
+  const tools::CampaignResult aware = tools::runCampaign(runs, true, deps, seed);
   std::fputs(tools::formatCampaignComparison(naive, aware).c_str(), stdout);
   return 0;
 }

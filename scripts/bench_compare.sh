@@ -42,3 +42,26 @@ print(f"tracing overhead: off={off:.2f} on={on:.2f} -> {overhead:+.2f}%")
 if overhead > 3.0:
     sys.exit(f"observability overhead {overhead:.2f}% exceeds the 3% budget")
 EOF
+
+# Campaign engine throughput: a bounded crash x fault x config matrix at
+# jobs=1 vs full parallelism. Emits BENCH_campaign.json (cells/sec,
+# dedup ratio, speedup) and sanity-checks that the canonical state hash
+# is actually collapsing outcome classes.
+CAMPAIGN_OUT=${3:-"$ROOT/BENCH_campaign.json"}
+cmake --build "$BUILD" -j "$(nproc)" --target campaign
+"$BUILD/bench/campaign" "$CAMPAIGN_OUT"
+
+python3 - "$CAMPAIGN_OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+serial = doc["serial"]
+print(f"campaign: {serial['cells']} cells, "
+      f"{serial['cells_per_sec']:.0f} cells/sec serial, "
+      f"dedup ratio {serial['dedup_ratio']:.1%}, "
+      f"speedup {doc['speedup']:.2f}x")
+if serial["dedup_ratio"] <= 0.0:
+    sys.exit("campaign dedup collapsed nothing — the state digest is broken")
+if serial["unique_outcomes"] == 0:
+    sys.exit("campaign produced no outcome classes")
+EOF

@@ -38,6 +38,7 @@
 #include "tools/conbugck.h"
 #include "tools/condocck.h"
 #include "tools/conhandleck.h"
+#include "tools/campaign.h"
 #include "tools/crashck.h"
 #include "tools/depgraph.h"
 
@@ -84,6 +85,25 @@ int usage() {
       "                          defrag, tune (default: all)\n"
       "               --seed S   fault-schedule seed (default 42)\n"
       "               --json     emit JSON instead of text\n"
+      "               --fail-on CLASSES  exit 3 when any of the comma-separated\n"
+      "                          outcome classes occurred (silent-corruption,\n"
+      "                          data-loss, needs-repair)\n"
+      "  campaign   crash x fault x config matrix campaign with outcome dedup\n"
+      "             and ddmin schedule minimization\n"
+      "               --seed S          campaign seed (default 42)\n"
+      "               --op OP           restrict to one op (repeatable)\n"
+      "               --configs N       cap the sampled matrix (default 24)\n"
+      "               --crash-points N  crash cells per config x op (default 4)\n"
+      "               --double-faults N crash+transient cells per config x op\n"
+      "               --no-pairwise     each-used-value sampling only\n"
+      "               --no-minimize     skip ddmin reproducer minimization\n"
+      "               --retries N       per-cell retry budget (default 2)\n"
+      "               --corpus DIR      persist minimized reproducers as a\n"
+      "                                 versioned regression corpus\n"
+      "               --replay DIR      replay a corpus dir instead of running\n"
+      "               --json            emit JSON instead of text\n"
+      "               --fail-on CLASSES exit 3 on the given outcome classes\n"
+      "                                 (adds 'failed' for dead cells)\n"
       "  xfs        run the analyzer over the XFS mini-ecosystem (paper SS6)\n"
       "  bugs       list the 67-case bug study dataset (--json for JSON)\n"
       "  explain    show everything known about one parameter\n"
@@ -154,9 +174,10 @@ int cmdExtract(const std::vector<std::string>& args) {
 
 int cmdCrashCk(const std::vector<std::string>& args) {
   tools::CrashCkOptions options;
+  tools::FailOnSet fail_on;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") continue;
-    if (args[i] == "--op" || args[i] == "--seed") {
+    if (args[i] == "--op" || args[i] == "--seed" || args[i] == "--fail-on") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "crashck: %s requires a value\n", args[i].c_str());
         return 2;
@@ -164,6 +185,13 @@ int cmdCrashCk(const std::vector<std::string>& args) {
       const std::string& value = args[++i];
       if (args[i - 1] == "--op") {
         options.ops.push_back(value);
+      } else if (args[i - 1] == "--fail-on") {
+        const Result<tools::FailOnSet> parsed = tools::parseFailOn(value);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "crashck: %s\n", parsed.error().message.c_str());
+          return 2;
+        }
+        fail_on = parsed.value();
       } else {
         char* end = nullptr;
         options.seed = std::strtoull(value.c_str(), &end, 10);
@@ -198,6 +226,15 @@ int cmdCrashCk(const std::vector<std::string>& args) {
                     static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::DataLoss)));
   }
 
+  int exit_code = 0;
+  if (!fail_on.empty()) {
+    for (const tools::CrashOutcome outcome :
+         {tools::CrashOutcome::NeedsRepair, tools::CrashOutcome::SilentCorruption,
+          tools::CrashOutcome::DataLoss}) {
+      if (fail_on.matches(outcome) && report.totalOf(outcome) > 0) exit_code = 3;
+    }
+  }
+
   if (hasFlag(args, "--json")) {
     json::Object root;
     root["seed"] = static_cast<std::uint64_t>(report.seed);
@@ -220,7 +257,7 @@ int cmdCrashCk(const std::vector<std::string>& args) {
     }
     root["ops"] = std::move(ops);
     std::fputs(json::writePretty(root).c_str(), stdout);
-    return 0;
+    return exit_code;
   }
 
   std::printf("CrashCk: seed %llu\n\n", static_cast<unsigned long long>(report.seed));
@@ -238,7 +275,140 @@ int cmdCrashCk(const std::vector<std::string>& args) {
     }
   }
   std::printf("\n%s\n", report.summary().c_str());
-  return 0;
+  if (exit_code != 0)
+    std::fprintf(stderr, "crashck: --fail-on outcome class present, exiting 3\n");
+  return exit_code;
+}
+
+int cmdCampaign(const std::vector<std::string>& args) {
+  tools::CampaignOptions options;
+  tools::FailOnSet fail_on;
+  std::string replay_dir;
+  const auto parseCount = [](const std::string& value, const char* flag,
+                             std::uint64_t& out) -> bool {
+    char* end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "campaign: %s expects an integer, got '%s'\n", flag, value.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") continue;
+    if (arg == "--no-pairwise") {
+      options.pairwise = false;
+      continue;
+    }
+    if (arg == "--no-minimize") {
+      options.minimize = false;
+      continue;
+    }
+    if (arg == "--seed" || arg == "--op" || arg == "--configs" || arg == "--crash-points" ||
+        arg == "--double-faults" || arg == "--retries" || arg == "--corpus" ||
+        arg == "--replay" || arg == "--fail-on") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "campaign: %s requires a value\n", arg.c_str());
+        return 2;
+      }
+      const std::string& value = args[++i];
+      std::uint64_t n = 0;
+      if (arg == "--op") {
+        options.ops.push_back(value);
+      } else if (arg == "--corpus") {
+        options.corpus_dir = value;
+      } else if (arg == "--replay") {
+        replay_dir = value;
+      } else if (arg == "--fail-on") {
+        const Result<tools::FailOnSet> parsed = tools::parseFailOn(value);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "campaign: %s\n", parsed.error().message.c_str());
+          return 2;
+        }
+        fail_on = parsed.value();
+      } else if (!parseCount(value, arg.c_str(), n)) {
+        return 2;
+      } else if (arg == "--seed") {
+        options.seed = n;
+      } else if (arg == "--configs") {
+        options.max_configs = static_cast<std::size_t>(n);
+      } else if (arg == "--crash-points") {
+        options.max_crash_points = static_cast<std::size_t>(n);
+      } else if (arg == "--double-faults") {
+        options.max_double_faults = static_cast<std::size_t>(n);
+      } else if (arg == "--retries") {
+        options.cell_retries = static_cast<std::uint32_t>(n);
+      }
+      continue;
+    }
+    std::fprintf(stderr, "campaign: unknown argument '%s'\n", arg.c_str());
+    return 2;
+  }
+
+  if (!replay_dir.empty()) {
+    const Result<tools::ReplayReport> result = tools::replayCampaignCorpus(replay_dir);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.error().message.c_str());
+      return 2;
+    }
+    const tools::ReplayReport& report = result.value();
+    for (const tools::ReplayCase& c : report.cases) {
+      std::printf("%-9s %s: recorded %s, replayed %s%s\n",
+                  c.outcome_match ? "MATCH" : "MISMATCH", c.file.c_str(),
+                  tools::crashOutcomeName(c.recorded), tools::crashOutcomeName(c.replayed),
+                  c.digest_match ? "" : " (digest drifted)");
+    }
+    std::printf("\nreplay: %s\n", report.summary().c_str());
+    obs::RunReport::global().note("campaign_replay", report.summary());
+    return report.allMatch() ? 0 : 1;
+  }
+
+  const std::vector<model::Dependency> deps = corpus::runTable5().unique_deps;
+  const Result<tools::CampaignReport> result = tools::runMatrixCampaign(options, deps);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 2;
+  }
+  const tools::CampaignReport& report = result.value();
+  {
+    obs::RunReport& run_report = obs::RunReport::global();
+    run_report.note("campaign_summary", report.summary());
+    run_report.note("campaign_histogram", report.histogram());
+    run_report.note("campaign_cells", static_cast<std::uint64_t>(report.cells.size()));
+    run_report.note("campaign_configs", static_cast<std::uint64_t>(report.configs.size()));
+    run_report.note("campaign_unique_outcomes", report.unique_outcomes);
+    run_report.note("campaign_dedup_hits", report.dedup_hits);
+    run_report.note("campaign_minimizer_probes", report.minimizer_probes);
+    run_report.note("campaign_repros", static_cast<std::uint64_t>(report.repros.size()));
+    run_report.note(
+        "campaign_silent_corruption",
+        static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::SilentCorruption)));
+    run_report.note("campaign_data_loss",
+                    static_cast<std::uint64_t>(report.totalOf(tools::CrashOutcome::DataLoss)));
+    run_report.note("campaign_failed_cells",
+                    static_cast<std::uint64_t>(report.totalFailed()));
+  }
+
+  int exit_code = 0;
+  if (!fail_on.empty()) {
+    for (const tools::CrashOutcome outcome :
+         {tools::CrashOutcome::NeedsRepair, tools::CrashOutcome::SilentCorruption,
+          tools::CrashOutcome::DataLoss}) {
+      if (fail_on.matches(outcome) && report.totalOf(outcome) > 0) exit_code = 3;
+    }
+    if (fail_on.failed && report.totalFailed() > 0) exit_code = 3;
+  }
+
+  if (hasFlag(args, "--json")) {
+    std::fputs(json::writePretty(json::Value(report.toJson())).c_str(), stdout);
+  } else {
+    std::fputs(report.renderText().c_str(), stdout);
+  }
+  if (exit_code != 0)
+    std::fprintf(stderr, "campaign: --fail-on outcome class present, exiting 3\n");
+  return exit_code;
 }
 
 int cmdFigure1() {
@@ -456,6 +626,7 @@ int runCommand(const std::string& command, const std::vector<std::string>& args)
   }
   if (command == "figure1") return cmdFigure1();
   if (command == "crashck") return cmdCrashCk(args);
+  if (command == "campaign") return cmdCampaign(args);
   if (command == "xfs") {
     const extract::ExtractOptions options = corpus::xfsExtractOptions();
     const auto deps =

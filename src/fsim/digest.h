@@ -1,0 +1,33 @@
+// imageStateDigest: a canonical 64-bit hash of the filesystem state a
+// user would observe after recovery. The campaign engine uses it to
+// deduplicate fault-schedule outcomes: two schedules that leave the
+// image in the same post-recovery state are the same bug, however
+// different the paths that produced them.
+//
+// Canonical means the hash walks the *logical* metadata — superblock
+// fields that describe the filesystem, group descriptors, bitmaps and
+// in-use inodes — rather than raw device bytes, so torn garbage in
+// unallocated blocks does not split equivalence classes. Fields that
+// merely count history (mount_count, error_count) and the derived
+// checksum are excluded. When the device holds no valid filesystem
+// (an interrupted mkfs), the digest falls back to hashing the raw
+// metadata region so distinct wreckage still hashes distinctly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsim/block_device.h"
+
+namespace fsdep::fsim {
+
+/// Digest of the device's current filesystem state. Deterministic, pure
+/// (the device is only read), and never throws: unreadable blocks mix a
+/// marker into the hash instead of propagating IoError.
+std::uint64_t imageStateDigest(BlockDevice& device);
+
+/// "0x"-prefixed lower-case hex rendering used by reports and the
+/// on-disk corpus format.
+std::string digestHex(std::uint64_t digest);
+
+}  // namespace fsdep::fsim

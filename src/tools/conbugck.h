@@ -8,6 +8,10 @@
 //   * naive      — uniform random over each parameter's raw domain;
 //   * dep-aware  — random, then repaired to satisfy every dependency.
 // Coverage = distinct fsim coverage points reached (see fsim/coverage.h).
+//
+// Configuration generation itself (GeneratedConfig, ConfigGenerator,
+// repairConfig, matrix sampling) lives in tools/confgen — shared with
+// the campaign engine and the examples.
 #pragma once
 
 #include <cstdint>
@@ -15,39 +19,10 @@
 #include <string>
 #include <vector>
 
-#include "fsim/mkfs.h"
-#include "fsim/mount.h"
 #include "model/dependency.h"
+#include "tools/confgen/confgen.h"
 
 namespace fsdep::tools {
-
-struct GeneratedConfig {
-  fsim::MkfsOptions mkfs;
-  fsim::MountOptions mount;
-  std::uint32_t resize_target = 0;  ///< 0 = no resize step
-};
-
-/// Deterministic xorshift generator so runs are reproducible.
-class ConfigGenerator {
- public:
-  explicit ConfigGenerator(std::uint64_t seed) : state_(seed == 0 ? 1 : seed) {}
-
-  /// Uniform random configuration over raw parameter domains.
-  GeneratedConfig randomConfig();
-
-  /// Random configuration repaired to satisfy the given dependencies.
-  GeneratedConfig dependencyAwareConfig(const std::vector<model::Dependency>& deps);
-
-  std::uint64_t nextUint();
-  std::uint32_t pick(std::uint32_t bound);  ///< uniform in [0, bound)
-  bool coin() { return (nextUint() & 1) != 0; }
-
- private:
-  std::uint64_t state_;
-};
-
-/// Repairs a configuration in place so it satisfies the dependency set.
-void repairConfig(GeneratedConfig& config, const std::vector<model::Dependency>& deps);
 
 struct CampaignResult {
   int runs = 0;

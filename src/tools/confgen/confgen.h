@@ -1,0 +1,107 @@
+// confgen: dependency-aware configuration generation, promoted out of
+// ConBugCk / examples/config_fuzz_harness into its own library so every
+// harness (ConBugCk fuzzing, the campaign engine, examples) draws
+// configurations from the same generator.
+//
+// Two generation styles live here:
+//   * random     — ConfigGenerator::randomConfig() over deliberately
+//                  over-wide raw domains, optionally repaired against
+//                  the extracted dependency set (ConBugCk's measurement
+//                  of naive vs dependency-aware fuzzing);
+//   * sampled    — sampleConfigMatrix(): a deterministic matrix over
+//                  the mkfs/mount/tune knob domains combining
+//                  each-used-value coverage (every knob value appears
+//                  at least once) with greedy pairwise coverage (every
+//                  pair of knob values appears together at least once),
+//                  the classic configurable-system sampling strategies.
+//                  Every sampled configuration is repaired against the
+//                  dependency set, so campaigns spend their cells on
+//                  configurations that get past shallow validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsim/mkfs.h"
+#include "fsim/mount.h"
+#include "fsim/tune.h"
+#include "model/dependency.h"
+
+namespace fsdep::tools {
+
+struct GeneratedConfig {
+  fsim::MkfsOptions mkfs;
+  fsim::MountOptions mount;
+  fsim::TuneOptions tune;
+  std::uint32_t resize_target = 0;  ///< 0 = no resize step
+};
+
+/// Deterministic xorshift generator so runs are reproducible.
+class ConfigGenerator {
+ public:
+  explicit ConfigGenerator(std::uint64_t seed) : state_(seed == 0 ? 1 : seed) {}
+
+  /// Uniform random configuration over raw parameter domains.
+  GeneratedConfig randomConfig();
+
+  /// Random configuration repaired to satisfy the given dependencies.
+  GeneratedConfig dependencyAwareConfig(const std::vector<model::Dependency>& deps);
+
+  std::uint64_t nextUint();
+  std::uint32_t pick(std::uint32_t bound);  ///< uniform in [0, bound)
+  bool coin() { return (nextUint() & 1) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Repairs a configuration in place so it satisfies the dependency set.
+void repairConfig(GeneratedConfig& config, const std::vector<model::Dependency>& deps);
+
+// --- Matrix sampling ---------------------------------------------------
+
+/// One sampling dimension: a named knob with a small list of named
+/// values. Value 0 is always the baseline default.
+struct SamplingKnob {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// The mkfs/mount/tune knob domains the sampler covers. Stable order;
+/// index into it with the choice vectors below.
+const std::vector<SamplingKnob>& samplingKnobs();
+
+/// The baseline configuration every sample is derived from (the CrashCk
+/// geometry: 1 KiB blocks, 2048-block filesystem, 512 blocks/group).
+GeneratedConfig baselineConfig();
+
+/// Applies choice `value` of knob `knob` to `config`.
+void applyKnob(GeneratedConfig& config, std::size_t knob, std::size_t value);
+
+struct SampledConfig {
+  GeneratedConfig config;
+  /// One value index per samplingKnobs() entry.
+  std::vector<std::size_t> choices;
+  /// Why this row exists: "baseline", "euv:knob=value" or "pair:N".
+  std::string origin;
+
+  /// "block_size=1024 layout=sparse_super2 ..." — stable, report-ready.
+  [[nodiscard]] std::string label() const;
+};
+
+struct SamplingOptions {
+  bool each_used_value = true;
+  bool pairwise = true;
+  /// 0 = unbounded. Truncation keeps matrix-prefix determinism: the
+  /// first N rows of the unbounded matrix.
+  std::size_t max_configs = 0;
+};
+
+/// Deterministic sample of the configuration matrix: the baseline row,
+/// each-used-value rows, then greedy pairwise-covering rows; every row
+/// repaired against `deps`. Same (options, deps) => identical matrix.
+std::vector<SampledConfig> sampleConfigMatrix(const SamplingOptions& options,
+                                              const std::vector<model::Dependency>& deps);
+
+}  // namespace fsdep::tools

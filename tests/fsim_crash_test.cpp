@@ -6,9 +6,11 @@
 
 #include "tools/crashck.h"
 
+#include "fsim/digest.h"
 #include "fsim/image.h"
 #include "fsim/mkfs.h"
 #include "fsim/mount.h"
+#include "tools/campaign.h"
 
 namespace fsdep::tools {
 namespace {
@@ -136,6 +138,156 @@ TEST(CrashCk, ClassifierDetectsLostCanary) {
   std::string detail;
   EXPECT_EQ(classifyPostCrashImage(device, canary, detail), CrashOutcome::DataLoss)
       << detail;
+}
+
+TEST(CrashCk, ClassifierHandlesCanarylessInterruptedMkfs) {
+  // Crash at the very first persisted write of mkfs: nothing valid ever
+  // reaches the device. With no canary (mkfs has nothing to lose) the
+  // verdict must be NeedsRepair — never DataLoss.
+  BlockDevice device(8192, 1024);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.crash_at_write = 0;
+  plan.torn_mode = TornMode::Seeded;
+  device.setFaultPlan(plan);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  try {
+    (void)MkfsTool::format(device, o);
+  } catch (const IoError&) {
+  }
+  device.clearFaults();
+  std::string detail;
+  EXPECT_EQ(classifyPostCrashImage(device, CrashCanary{}, detail),
+            CrashOutcome::NeedsRepair)
+      << detail;
+}
+
+TEST(CrashCk, ClassifierCallsUnfixableImageNeedsRepair) {
+  // Destroy the superblock magic: fsck cannot even identify a
+  // filesystem to fix. The classifier must degrade to NeedsRepair
+  // instead of crashing or calling the wreckage Recovered.
+  BlockDevice device(8192, 1024);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  FsImage image(device);
+  Superblock sb = image.loadSuperblock();
+  sb.magic = 0;
+  image.storeSuperblock(sb);
+  std::string detail;
+  EXPECT_EQ(classifyPostCrashImage(device, CrashCanary{}, detail),
+            CrashOutcome::NeedsRepair)
+      << detail;
+}
+
+TEST(CrashCk, ClassifierFlagsHandBuiltLieAsSilentCorruption) {
+  // A superblock that passes its own checksum and claims to be clean,
+  // but whose free-block accounting is wrong: the Figure 1 shape,
+  // built by hand instead of by the buggy resize.
+  BlockDevice device(8192, 1024);
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  FsImage image(device);
+  Superblock sb = image.loadSuperblock();
+  sb.free_blocks_count += 64;  // the lie
+  sb.checksum = sb.computeChecksum();  // ...sworn under a fresh checksum
+  image.storeSuperblock(sb);
+  std::string detail;
+  EXPECT_EQ(classifyPostCrashImage(device, CrashCanary{}, detail),
+            CrashOutcome::SilentCorruption)
+      << detail;
+}
+
+TEST(CrashCk, DoubleFaultScheduleClassifiesDeterministically) {
+  // Crash plus a transient write fault in the same run: the campaign
+  // cell must classify it (any class) and do so reproducibly.
+  tools::FaultEvent crash;
+  crash.kind = tools::FaultEventKind::CrashAtWrite;
+  crash.write_index = 3;
+  tools::FaultEvent transient;
+  transient.kind = tools::FaultEventKind::TransientWrite;
+  transient.block = 2;
+  transient.failures = 4;  // beyond the retry policy: the fault surfaces
+  const tools::FaultSchedule schedule = {crash, transient};
+
+  const auto a = tools::runCampaignCell(tools::baselineConfig(), "mount", schedule, 42);
+  const auto b = tools::runCampaignCell(tools::baselineConfig(), "mount", schedule, 42);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().outcome, b.value().outcome);
+  EXPECT_EQ(a.value().digest, b.value().digest);
+  EXPECT_NE(a.value().digest, 0u);
+}
+
+TEST(StateDigest, IdenticalImagesHashIdentically) {
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  BlockDevice a(8192, 1024);
+  BlockDevice b(8192, 1024);
+  ASSERT_TRUE(MkfsTool::format(a, o).ok());
+  ASSERT_TRUE(MkfsTool::format(b, o).ok());
+  EXPECT_EQ(imageStateDigest(a), imageStateDigest(b));
+  EXPECT_EQ(imageStateDigest(a), imageStateDigest(a));  // pure
+}
+
+TEST(StateDigest, SensitiveToLogicalMetadata) {
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  BlockDevice device(8192, 1024);
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  const std::uint64_t before = imageStateDigest(device);
+  {
+    auto mounted = MountTool::mount(device, MountOptions{});
+    ASSERT_TRUE(mounted.ok());
+    ASSERT_TRUE(mounted.value().createFile(4096, 0).ok());
+    mounted.value().unmount();
+  }
+  EXPECT_NE(imageStateDigest(device), before);
+}
+
+TEST(StateDigest, InsensitiveToMountCountHistory) {
+  MkfsOptions o;
+  o.block_size = 1024;
+  o.size_blocks = 2048;
+  o.blocks_per_group = 512;
+  o.inode_ratio = 8192;
+  BlockDevice device(8192, 1024);
+  ASSERT_TRUE(MkfsTool::format(device, o).ok());
+  const std::uint64_t before = imageStateDigest(device);
+  FsImage image(device);
+  Superblock sb = image.loadSuperblock();
+  sb.mount_count += 7;  // history, not state
+  sb.checksum = sb.computeChecksum();
+  image.storeSuperblock(sb);
+  EXPECT_EQ(imageStateDigest(device), before);
+}
+
+TEST(StateDigest, RawFallbackDistinguishesWreckage) {
+  // No valid filesystem: the digest falls back to hashing the raw
+  // metadata region, so distinct wreckage still lands in distinct
+  // equivalence classes.
+  BlockDevice blank(8192, 1024);
+  BlockDevice scribbled(8192, 1024);
+  const std::uint8_t junk[4] = {0xde, 0xad, 0xbe, 0xef};
+  scribbled.writeBytes(2048, junk);
+  EXPECT_NE(imageStateDigest(blank), imageStateDigest(scribbled));
 }
 
 }  // namespace
