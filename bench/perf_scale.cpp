@@ -1,0 +1,120 @@
+// Kernel-scale benchmarks (google-benchmark): the SCC-summary
+// inter-procedural engine against the legacy whole-program re-analysis
+// fixpoint, on the seed corpus and on amplified corpora 10x and 100x
+// its size. BM_Table5IntraSeed is the reference point for the scale
+// guard in scripts/bench_compare.sh: inter-procedural analysis of the
+// 100x amplified corpus must stay within 10x of an intra Table 5 run
+// on the seed corpus (BENCH_scale.json).
+//
+// Amplified iterations time analysis + extraction only: generation and
+// the parse-once ComponentCache fill happen in the warm-up, matching
+// how the pipeline amortizes frontend cost everywhere else.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/amplify.h"
+#include "corpus/pipeline.h"
+#include "extract/extractor.h"
+#include "support/thread_pool.h"
+
+using namespace fsdep;
+
+namespace {
+
+taint::AnalysisOptions interSummary() {
+  taint::AnalysisOptions topts;
+  topts.inter_procedural = true;
+  return topts;
+}
+
+taint::AnalysisOptions interLegacy() {
+  taint::AnalysisOptions topts = interSummary();
+  topts.summaries = false;
+  return topts;
+}
+
+void runTable5Bench(benchmark::State& state, const taint::AnalysisOptions& topts) {
+  const corpus::PipelineOptions pipeline{.jobs = 4, .use_cache = true};
+  benchmark::DoNotOptimize(corpus::runTable5(topts, nullptr, pipeline));  // warm cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus::runTable5(topts, nullptr, pipeline));
+  }
+}
+
+void BM_Table5IntraSeed(benchmark::State& state) { runTable5Bench(state, {}); }
+BENCHMARK(BM_Table5IntraSeed)->Unit(benchmark::kMillisecond);
+
+void BM_Table5InterSummarySeed(benchmark::State& state) {
+  runTable5Bench(state, interSummary());
+}
+BENCHMARK(BM_Table5InterSummarySeed)->Unit(benchmark::kMillisecond);
+
+void BM_Table5InterLegacySeed(benchmark::State& state) {
+  runTable5Bench(state, interLegacy());
+}
+BENCHMARK(BM_Table5InterLegacySeed)->Unit(benchmark::kMillisecond);
+
+/// Analyzes every amplified component (all functions) on the pool and
+/// extracts dependencies over the whole synthetic ecosystem — the
+/// `fsdep amplify` hot path.
+std::size_t analyzeAmplified(const std::vector<std::string>& names,
+                             const taint::AnalysisOptions& topts) {
+  std::vector<std::unique_ptr<corpus::AnalyzedComponent>> components(names.size());
+  ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
+    auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
+    component->analyze({});
+    components[i] = std::move(component);
+  });
+  std::vector<extract::ComponentRun> runs;
+  runs.reserve(components.size());
+  for (const auto& component : components) runs.push_back(component->asRun());
+  return extract::extractDependencies(runs, corpus::amplifiedExtractOptions()).size();
+}
+
+void runAmplifiedBench(benchmark::State& state, const taint::AnalysisOptions& topts) {
+  const corpus::AmplifyOptions aopts{.factor = static_cast<std::size_t>(state.range(0)),
+                                     .seed = 42};
+  const std::vector<std::string> names = corpus::amplifyCorpus(aopts);
+  benchmark::DoNotOptimize(analyzeAmplified(names, topts));  // warm the parse cache
+  std::size_t deps = 0;
+  for (auto _ : state) {
+    deps = analyzeAmplified(names, topts);
+    benchmark::DoNotOptimize(deps);
+  }
+  state.counters["components"] = static_cast<double>(names.size());
+  state.counters["deps"] = static_cast<double>(deps);
+}
+
+void BM_AmplifiedInterSummary(benchmark::State& state) {
+  runAmplifiedBench(state, interSummary());
+}
+BENCHMARK(BM_AmplifiedInterSummary)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AmplifiedInterLegacy(benchmark::State& state) {
+  runAmplifiedBench(state, interLegacy());
+}
+BENCHMARK(BM_AmplifiedInterLegacy)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AmplifiedIntra(benchmark::State& state) { runAmplifiedBench(state, {}); }
+BENCHMARK(BM_AmplifiedIntra)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// Pure generation cost (registry rebuild included): the amplifier must
+// never dominate the pipeline it feeds.
+void BM_AmplifyGenerate(benchmark::State& state) {
+  const std::size_t factor = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    // A fresh seed per iteration forces a real regeneration instead of
+    // the same-options no-op path.
+    benchmark::DoNotOptimize(corpus::amplifyCorpus({.factor = factor, .seed = seed++}));
+  }
+  corpus::clearAmplifiedCorpus();
+}
+BENCHMARK(BM_AmplifyGenerate)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

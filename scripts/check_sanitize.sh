@@ -3,8 +3,10 @@
 #   1. ASan+UBSan over the full suite (FSDEP_SANITIZE=address), and
 #   2. TSan over the concurrency-sensitive tests (FSDEP_SANITIZE=thread):
 #      the thread pool, the parse-once component cache, the parallel
-#      pipeline determinism suite, the corpus/pipeline integration
-#      tests that drive them, the observability layer (whose trace
+#      pipeline determinism suite (intra and SCC-summary inter), the
+#      summary-equivalence and amplifier suites (which analyze shared
+#      cached components from pool workers), the corpus/pipeline
+#      integration tests that drive them, the observability layer (whose trace
 #      buffers and metrics registry are written from every worker), and
 #      the campaign engine (whose determinism guarantee — bit-identical
 #      reports at any --jobs — is exactly a data-race claim).
@@ -24,10 +26,12 @@ echo "== TSan: concurrency tests =="
 cmake -B "$PREFIX-tsan" -S "$ROOT" -DFSDEP_SANITIZE=thread
 cmake --build "$PREFIX-tsan" -j "$JOBS" \
   --target thread_pool_test component_cache_test pipeline_determinism_test \
+           summary_equivalence_test amplify_test \
            pipeline_test corpus_test obs_test obs_pipeline_test campaign_test
 # Force multi-threaded execution even on single-core machines so TSan
 # actually sees cross-thread interleavings.
 for t in thread_pool_test component_cache_test pipeline_determinism_test \
+         summary_equivalence_test amplify_test \
          pipeline_test corpus_test obs_test obs_pipeline_test campaign_test; do
   echo "-- $t (FSDEP_JOBS=4)"
   FSDEP_JOBS=4 "$PREFIX-tsan/tests/$t"

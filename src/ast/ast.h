@@ -1,7 +1,10 @@
 // Abstract syntax tree for the fsdep C subset.
 //
-// Ownership: every node is owned by its parent through std::unique_ptr;
-// the TranslationUnit owns all top-level declarations. Cross references
+// Ownership: node *storage* lives in the TranslationUnit's arena; node
+// *lifetime* is owned by the parent through ArenaPtr (a unique_ptr whose
+// deleter runs the destructor but returns no memory). Freeing a whole TU
+// is one arena teardown instead of a pointer-chasing delete cascade, and
+// parsing allocates by bumping a pointer. Cross references
 // (DeclRef -> VarDecl, Member -> FieldDecl) are non-owning raw pointers
 // filled in by sema.
 #pragma once
@@ -11,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "support/arena.h"
 #include "support/source_location.h"
 
 namespace fsdep::ast {
@@ -88,7 +92,12 @@ class Expr {
   ExprKind kind_;
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
+/// Owning pointer to an arena-backed AST node. The owning
+/// TranslationUnit's arena must outlive the pointer.
+template <typename T>
+using NodePtr = fsdep::ArenaPtr<T>;
+
+using ExprPtr = NodePtr<Expr>;
 
 class IntLiteralExpr final : public Expr {
  public:
@@ -215,7 +224,7 @@ class Decl {
   DeclKind kind_;
 };
 
-using DeclPtr = std::unique_ptr<Decl>;
+using DeclPtr = NodePtr<Decl>;
 
 class VarDecl final : public Decl {
  public:
@@ -269,10 +278,10 @@ class FunctionDecl final : public Decl {
  public:
   FunctionDecl() : Decl(DeclKind::Function) {}
   TypeSpec return_type;
-  std::vector<std::unique_ptr<VarDecl>> params;
+  std::vector<NodePtr<VarDecl>> params;
   bool is_variadic = false;
   bool is_static = false;
-  std::unique_ptr<Stmt> body;  ///< null for prototypes
+  NodePtr<Stmt> body;  ///< null for prototypes
 
   [[nodiscard]] bool isDefinition() const { return body != nullptr; }
 };
@@ -299,7 +308,7 @@ class Stmt {
   StmtKind kind_;
 };
 
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtPtr = NodePtr<Stmt>;
 
 class CompoundStmt final : public Stmt {
  public:
@@ -310,7 +319,7 @@ class CompoundStmt final : public Stmt {
 class DeclStmt final : public Stmt {
  public:
   DeclStmt() : Stmt(StmtKind::Decl) {}
-  std::vector<std::unique_ptr<VarDecl>> vars;
+  std::vector<NodePtr<VarDecl>> vars;
 };
 
 class ExprStmt final : public Stmt {
@@ -362,7 +371,7 @@ class SwitchStmt final : public Stmt {
  public:
   SwitchStmt() : Stmt(StmtKind::Switch) {}
   ExprPtr cond;
-  std::vector<std::unique_ptr<CaseStmt>> cases;
+  std::vector<NodePtr<CaseStmt>> cases;
 };
 
 class BreakStmt final : public Stmt {
@@ -392,8 +401,19 @@ class NullStmt final : public Stmt {
 
 class TranslationUnit {
  public:
+  /// Node storage. Declared first so it is destroyed *after* `decls`
+  /// (members are destroyed in reverse order): node destructors run via
+  /// ArenaPtr while their storage is still mapped.
+  fsdep::Arena arena;
+
   std::string name;  ///< usually the main file name
   std::vector<DeclPtr> decls;
+
+  /// Allocates an AST node in this unit's arena.
+  template <typename T, typename... Args>
+  NodePtr<T> make(Args&&... args) {
+    return NodePtr<T>(arena.make<T>(std::forward<Args>(args)...));
+  }
 
   [[nodiscard]] const FunctionDecl* findFunction(std::string_view fn_name) const;
   [[nodiscard]] const RecordDecl* findRecord(std::string_view record_name) const;

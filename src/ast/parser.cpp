@@ -178,6 +178,7 @@ void Parser::parseDeclaratorSuffix(TypeSpec& type) {
 
 std::unique_ptr<TranslationUnit> Parser::parseTranslationUnit(std::string name) {
   auto tu = std::make_unique<TranslationUnit>();
+  tu_ = tu.get();
   tu->name = std::move(name);
   while (!peek().isEof()) {
     DeclPtr decl = parseTopLevelDecl();
@@ -218,7 +219,7 @@ DeclPtr Parser::parseTopLevelDecl() {
 
 DeclPtr Parser::parseRecordDecl(SourceLoc loc) {
   expect(TokenKind::KwStruct, "at struct definition");
-  auto record = std::make_unique<RecordDecl>();
+  auto record = node<RecordDecl>();
   record->loc = loc;
   record->name = expect(TokenKind::Identifier, "as struct name").text;
   expect(TokenKind::LBrace, "to open struct body");
@@ -250,7 +251,7 @@ DeclPtr Parser::parseRecordDecl(SourceLoc loc) {
 
 DeclPtr Parser::parseEnumDecl(SourceLoc loc) {
   expect(TokenKind::KwEnum, "at enum definition");
-  auto decl = std::make_unique<EnumDecl>();
+  auto decl = node<EnumDecl>();
   decl->loc = loc;
   if (check(TokenKind::Identifier)) decl->name = advance().text;
   expect(TokenKind::LBrace, "to open enum body");
@@ -268,7 +269,7 @@ DeclPtr Parser::parseEnumDecl(SourceLoc loc) {
 }
 
 DeclPtr Parser::parseTypedefDecl(SourceLoc loc) {
-  auto decl = std::make_unique<TypedefDecl>();
+  auto decl = node<TypedefDecl>();
   decl->loc = loc;
   decl->underlying = parseTypeSpec();
   decl->name = expect(TokenKind::Identifier, "as typedef name").text;
@@ -284,7 +285,7 @@ DeclPtr Parser::parseFunctionOrVarDecl(bool is_static) {
   const std::string name = expect(TokenKind::Identifier, "as declaration name").text;
 
   if (check(TokenKind::LParen)) {
-    auto fn = std::make_unique<FunctionDecl>();
+    auto fn = node<FunctionDecl>();
     fn->loc = loc;
     fn->name = name;
     fn->return_type = std::move(type);
@@ -313,7 +314,7 @@ DeclPtr Parser::parseFunctionOrVarDecl(bool is_static) {
 
   // Global variable(s). Only the first declarator becomes the returned decl;
   // extra comma declarators are rare at file scope in the corpus.
-  auto var = std::make_unique<VarDecl>();
+  auto var = node<VarDecl>();
   var->loc = loc;
   var->name = name;
   var->type = std::move(type);
@@ -327,8 +328,8 @@ DeclPtr Parser::parseFunctionOrVarDecl(bool is_static) {
   return var;
 }
 
-std::unique_ptr<VarDecl> Parser::parseParamDecl() {
-  auto param = std::make_unique<VarDecl>();
+NodePtr<VarDecl> Parser::parseParamDecl() {
+  auto param = node<VarDecl>();
   param->loc = peek().loc;
   param->is_parameter = true;
   param->type = parseTypeSpec();
@@ -342,7 +343,7 @@ std::unique_ptr<VarDecl> Parser::parseParamDecl() {
 // ---------------------------------------------------------------------------
 
 StmtPtr Parser::parseCompoundStmt() {
-  auto compound = std::make_unique<CompoundStmt>();
+  auto compound = node<CompoundStmt>();
   compound->loc = peek().loc;
   expect(TokenKind::LBrace, "to open block");
   while (!check(TokenKind::RBrace) && !peek().isEof()) {
@@ -366,20 +367,20 @@ StmtPtr Parser::parseStmt() {
     case TokenKind::KwBreak: {
       advance();
       expect(TokenKind::Semicolon, "after 'break'");
-      auto s = std::make_unique<BreakStmt>();
+      auto s = node<BreakStmt>();
       s->loc = loc;
       return s;
     }
     case TokenKind::KwContinue: {
       advance();
       expect(TokenKind::Semicolon, "after 'continue'");
-      auto s = std::make_unique<ContinueStmt>();
+      auto s = node<ContinueStmt>();
       s->loc = loc;
       return s;
     }
     case TokenKind::Semicolon: {
       advance();
-      auto s = std::make_unique<NullStmt>();
+      auto s = node<NullStmt>();
       s->loc = loc;
       return s;
     }
@@ -395,18 +396,18 @@ StmtPtr Parser::parseStmt() {
     return parseDeclStmt();
   }
 
-  auto s = std::make_unique<ExprStmt>(parseExpr());
+  auto s = node<ExprStmt>(parseExpr());
   s->loc = loc;
   expect(TokenKind::Semicolon, "after expression statement");
   return s;
 }
 
-std::unique_ptr<DeclStmt> Parser::parseDeclStmt() {
-  auto stmt = std::make_unique<DeclStmt>();
+NodePtr<DeclStmt> Parser::parseDeclStmt() {
+  auto stmt = node<DeclStmt>();
   stmt->loc = peek().loc;
   const TypeSpec base = parseTypeSpec();
   while (true) {
-    auto var = std::make_unique<VarDecl>();
+    auto var = node<VarDecl>();
     var->loc = peek().loc;
     var->type = base;
     if (stmt->vars.empty()) {
@@ -428,7 +429,7 @@ std::unique_ptr<DeclStmt> Parser::parseDeclStmt() {
 }
 
 StmtPtr Parser::parseIfStmt() {
-  auto stmt = std::make_unique<IfStmt>();
+  auto stmt = node<IfStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwIf, "at if statement");
   expect(TokenKind::LParen, "after 'if'");
@@ -440,7 +441,7 @@ StmtPtr Parser::parseIfStmt() {
 }
 
 StmtPtr Parser::parseWhileStmt() {
-  auto stmt = std::make_unique<WhileStmt>();
+  auto stmt = node<WhileStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwWhile, "at while statement");
   expect(TokenKind::LParen, "after 'while'");
@@ -451,7 +452,7 @@ StmtPtr Parser::parseWhileStmt() {
 }
 
 StmtPtr Parser::parseDoWhileStmt() {
-  auto stmt = std::make_unique<DoWhileStmt>();
+  auto stmt = node<DoWhileStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwDo, "at do statement");
   stmt->body = parseStmt();
@@ -464,7 +465,7 @@ StmtPtr Parser::parseDoWhileStmt() {
 }
 
 StmtPtr Parser::parseForStmt() {
-  auto stmt = std::make_unique<ForStmt>();
+  auto stmt = node<ForStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwFor, "at for statement");
   expect(TokenKind::LParen, "after 'for'");
@@ -472,7 +473,7 @@ StmtPtr Parser::parseForStmt() {
     if (startsType()) {
       stmt->init = parseDeclStmt();
     } else {
-      auto init = std::make_unique<ExprStmt>(parseExpr());
+      auto init = node<ExprStmt>(parseExpr());
       init->loc = stmt->loc;
       stmt->init = std::move(init);
       expect(TokenKind::Semicolon, "after for-init");
@@ -487,7 +488,7 @@ StmtPtr Parser::parseForStmt() {
 }
 
 StmtPtr Parser::parseSwitchStmt() {
-  auto stmt = std::make_unique<SwitchStmt>();
+  auto stmt = node<SwitchStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwSwitch, "at switch statement");
   expect(TokenKind::LParen, "after 'switch'");
@@ -495,7 +496,7 @@ StmtPtr Parser::parseSwitchStmt() {
   expect(TokenKind::RParen, "to close switch condition");
   expect(TokenKind::LBrace, "to open switch body");
   while (!check(TokenKind::RBrace) && !peek().isEof()) {
-    auto case_stmt = std::make_unique<CaseStmt>();
+    auto case_stmt = node<CaseStmt>();
     case_stmt->loc = peek().loc;
     if (match(TokenKind::KwCase)) {
       case_stmt->value = parseConditional();
@@ -520,7 +521,7 @@ StmtPtr Parser::parseSwitchStmt() {
 }
 
 StmtPtr Parser::parseReturnStmt() {
-  auto stmt = std::make_unique<ReturnStmt>();
+  auto stmt = node<ReturnStmt>();
   stmt->loc = peek().loc;
   expect(TokenKind::KwReturn, "at return statement");
   if (!check(TokenKind::Semicolon)) stmt->value = parseExpr();
@@ -553,7 +554,7 @@ ExprPtr Parser::parseAssignment() {
   }
   const SourceLoc loc = advance().loc;
   ExprPtr rhs = parseAssignment();  // right associative
-  auto e = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+  auto e = node<BinaryExpr>(op, std::move(lhs), std::move(rhs));
   e->loc = loc;
   return e;
 }
@@ -565,7 +566,7 @@ ExprPtr Parser::parseConditional() {
   ExprPtr then_expr = parseExpr();
   expect(TokenKind::Colon, "in conditional expression");
   ExprPtr else_expr = parseConditional();
-  auto e = std::make_unique<ConditionalExpr>(std::move(cond), std::move(then_expr), std::move(else_expr));
+  auto e = node<ConditionalExpr>(std::move(cond), std::move(then_expr), std::move(else_expr));
   e->loc = loc;
   return e;
 }
@@ -612,7 +613,7 @@ ExprPtr Parser::parseBinary(int min_precedence) {
     if (!info || info->precedence < min_precedence) return lhs;
     const SourceLoc loc = advance().loc;
     ExprPtr rhs = parseBinary(info->precedence + 1);
-    auto e = std::make_unique<BinaryExpr>(info->op, std::move(lhs), std::move(rhs));
+    auto e = node<BinaryExpr>(info->op, std::move(lhs), std::move(rhs));
     e->loc = loc;
     lhs = std::move(e);
   }
@@ -639,14 +640,14 @@ ExprPtr Parser::parseUnary() {
         if (startsType()) {
           TypeSpec type = parseTypeSpec();
           expect(TokenKind::RParen, "to close sizeof");
-          auto e = std::make_unique<SizeofTypeExpr>(std::move(type));
+          auto e = node<SizeofTypeExpr>(std::move(type));
           e->loc = loc;
           return e;
         }
         pos_ = save;
       }
       ExprPtr operand = parseUnary();
-      auto e = std::make_unique<UnaryExpr>(UnaryOp::SizeofExpr, std::move(operand));
+      auto e = node<UnaryExpr>(UnaryOp::SizeofExpr, std::move(operand));
       e->loc = loc;
       return e;
     }
@@ -660,7 +661,7 @@ ExprPtr Parser::parseUnary() {
           if (check(TokenKind::RParen)) {
             advance();
             ExprPtr operand = parseUnary();
-            auto e = std::make_unique<CastExpr>(std::move(type), std::move(operand));
+            auto e = node<CastExpr>(std::move(type), std::move(operand));
             e->loc = loc;
             return e;
           }
@@ -673,7 +674,7 @@ ExprPtr Parser::parseUnary() {
   }
   advance();
   ExprPtr operand = parseUnary();
-  auto e = std::make_unique<UnaryExpr>(op, std::move(operand));
+  auto e = node<UnaryExpr>(op, std::move(operand));
   e->loc = loc;
   return e;
 }
@@ -696,24 +697,24 @@ ExprPtr Parser::parsePostfix() {
         } while (match(TokenKind::Comma));
       }
       expect(TokenKind::RParen, "to close call");
-      auto call = std::make_unique<CallExpr>(std::move(callee), std::move(args));
+      auto call = node<CallExpr>(std::move(callee), std::move(args));
       call->loc = loc;
       expr = std::move(call);
     } else if (match(TokenKind::LBracket)) {
       ExprPtr index = parseExpr();
       expect(TokenKind::RBracket, "to close subscript");
-      auto e = std::make_unique<IndexExpr>(std::move(expr), std::move(index));
+      auto e = node<IndexExpr>(std::move(expr), std::move(index));
       e->loc = loc;
       expr = std::move(e);
     } else if (check(TokenKind::Dot) || check(TokenKind::Arrow)) {
       const bool is_arrow = advance().kind == TokenKind::Arrow;
       std::string member = expect(TokenKind::Identifier, "as member name").text;
-      auto e = std::make_unique<MemberExpr>(std::move(expr), std::move(member), is_arrow);
+      auto e = node<MemberExpr>(std::move(expr), std::move(member), is_arrow);
       e->loc = loc;
       expr = std::move(e);
     } else if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
       const UnaryOp op = advance().kind == TokenKind::PlusPlus ? UnaryOp::PostInc : UnaryOp::PostDec;
-      auto e = std::make_unique<UnaryExpr>(op, std::move(expr));
+      auto e = node<UnaryExpr>(op, std::move(expr));
       e->loc = loc;
       expr = std::move(e);
     } else {
@@ -728,7 +729,7 @@ ExprPtr Parser::parsePrimary() {
     case TokenKind::IntLiteral:
     case TokenKind::CharLiteral: {
       const Token& t = advance();
-      auto e = std::make_unique<IntLiteralExpr>(t.int_value);
+      auto e = node<IntLiteralExpr>(t.int_value);
       e->loc = loc;
       return e;
     }
@@ -736,12 +737,12 @@ ExprPtr Parser::parsePrimary() {
       std::string value = advance().text;
       // Adjacent string literal concatenation.
       while (check(TokenKind::StringLiteral)) value += advance().text;
-      auto e = std::make_unique<StringLiteralExpr>(std::move(value));
+      auto e = node<StringLiteralExpr>(std::move(value));
       e->loc = loc;
       return e;
     }
     case TokenKind::Identifier: {
-      auto e = std::make_unique<DeclRefExpr>(advance().text);
+      auto e = node<DeclRefExpr>(advance().text);
       e->loc = loc;
       return e;
     }
@@ -761,7 +762,7 @@ ExprPtr Parser::parsePrimary() {
         } while (match(TokenKind::Comma));
       }
       expect(TokenKind::RBrace, "to close initializer list");
-      auto e = std::make_unique<InitListExpr>(std::move(elements));
+      auto e = node<InitListExpr>(std::move(elements));
       e->loc = loc;
       return e;
     }
@@ -769,7 +770,7 @@ ExprPtr Parser::parsePrimary() {
       diags_.error(loc, "expected an expression, found '" +
                             (peek().isEof() ? std::string("eof") : peek().text) + "'");
       advance();
-      auto e = std::make_unique<IntLiteralExpr>(0);
+      auto e = node<IntLiteralExpr>(0);
       e->loc = loc;
       return e;
     }

@@ -42,7 +42,7 @@ class Parser {
   DeclPtr parseEnumDecl(SourceLoc loc);
   DeclPtr parseTypedefDecl(SourceLoc loc);
   DeclPtr parseFunctionOrVarDecl(bool is_static);
-  std::unique_ptr<VarDecl> parseParamDecl();
+  NodePtr<VarDecl> parseParamDecl();
 
   // Statements.
   StmtPtr parseStmt();
@@ -53,7 +53,7 @@ class Parser {
   StmtPtr parseForStmt();
   StmtPtr parseSwitchStmt();
   StmtPtr parseReturnStmt();
-  std::unique_ptr<DeclStmt> parseDeclStmt();
+  NodePtr<DeclStmt> parseDeclStmt();
 
   // Expressions (precedence climbing).
   ExprPtr parseExpr();
@@ -64,11 +64,18 @@ class Parser {
   ExprPtr parsePostfix();
   ExprPtr parsePrimary();
 
+  /// Allocates a node in the arena of the unit being parsed.
+  template <typename T, typename... Args>
+  NodePtr<T> node(Args&&... args) {
+    return tu_->make<T>(std::forward<Args>(args)...);
+  }
+
   std::vector<lex::Token> tokens_;
   std::size_t pos_ = 0;
   DiagnosticEngine& diags_;
   std::unordered_set<std::string> typedef_names_;
   lex::Token eof_;
+  TranslationUnit* tu_ = nullptr;  ///< unit under construction (node arena)
 };
 
 }  // namespace fsdep::ast

@@ -7,7 +7,7 @@ namespace fsdep::cfg {
 using namespace ast;
 
 BlockId Cfg::newBlock() {
-  auto b = std::make_unique<BasicBlock>();
+  ArenaPtr<BasicBlock> b(arena_.make<BasicBlock>());
   b->id = static_cast<BlockId>(blocks_.size());
   blocks_.push_back(std::move(b));
   return blocks_.back()->id;

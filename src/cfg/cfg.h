@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "support/arena.h"
 
 namespace fsdep::cfg {
 
@@ -71,7 +72,10 @@ class Cfg {
   void setEntry(BlockId id) { entry_ = id; }
 
  private:
-  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  /// Block storage; declared before blocks_ so the arena outlives the
+  /// ArenaPtrs whose destructors run on teardown.
+  Arena arena_;
+  std::vector<ArenaPtr<BasicBlock>> blocks_;
   BlockId entry_ = kInvalidBlock;
 };
 

@@ -1,7 +1,8 @@
 // fsdep — command line front end.
 //
-//   fsdep extract [--scenario s1..s4] [--inter] [--no-bridging] [--json]
+//   fsdep extract [--scenario s1..s4] [--inter|--intra] [--no-bridging] [--json]
 //   fsdep table2 | table3 | table4 | table5
+//   fsdep amplify [--factor N] [--seed S] [--budget-ms M] [--json]
 //   fsdep docck
 //   fsdep handleck
 //   fsdep bugck [--runs N]
@@ -10,8 +11,10 @@
 //   fsdep dump-cfg <component> <function>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -26,6 +29,7 @@
 #include "obs/trace.h"
 
 #include "ast/dump.h"
+#include "corpus/amplify.h"
 #include "corpus/pipeline.h"
 #include "support/thread_pool.h"
 #include "fsim/fsck.h"
@@ -69,13 +73,30 @@ int usage() {
       "  extract    run the static analyzer over the corpus and print the\n"
       "             extracted multi-level dependencies\n"
       "               --scenario s1..s4   analyze one scenario (default: all)\n"
-      "               --inter             inter-procedural taint (ablation)\n"
+      "               --inter             inter-procedural taint (SCC-summarized;\n"
+      "                                   default: FSDEP_INTER env var, else intra)\n"
+      "               --intra             force intra-procedural taint (opt-out\n"
+      "                                   when FSDEP_INTER is set)\n"
+      "               --legacy-passes     inter via whole-program re-analysis\n"
+      "                                   instead of SCC summaries (oracle)\n"
       "               --no-bridging       disable metadata bridging (ablation)\n"
       "               --json              emit JSON instead of text\n"
       "  table2     test-suite configuration coverage (paper Table 2)\n"
       "  table3     bug-study distribution (paper Table 3)\n"
       "  table4     dependency taxonomy (paper Table 4)\n"
       "  table5     extraction evaluation (paper Table 5)\n"
+      "               --inter / --intra / --legacy-passes as in extract\n"
+      "  amplify    generate a synthetic amplified corpus (deterministic,\n"
+      "             config-flow shaped) and analyze it end to end\n"
+      "               --factor N      synthetic components per real Ext4\n"
+      "                               component (default 100 -> 600 total)\n"
+      "               --seed S        generator seed (default 42)\n"
+      "               --intra         intra-procedural taint (default: inter\n"
+      "                               with SCC summaries)\n"
+      "               --legacy-passes inter via whole-program re-analysis\n"
+      "               --budget-ms M   exit 3 when the end-to-end run exceeds\n"
+      "                               M milliseconds (CI wall-clock guard)\n"
+      "               --json          emit JSON instead of text\n"
       "  docck      ConDocCk: manual-vs-code inconsistencies\n"
       "  handleck   ConHandleCk: dependency-violation campaign\n"
       "  bugck      ConBugCk: dependency-aware config generation (--runs N)\n"
@@ -109,7 +130,7 @@ int usage() {
       "  explain    show everything known about one parameter\n"
       "  graph      emit the dependency graph as Graphviz dot\n"
       "  check      analyze YOUR C file: fsdep check tool.c --seed fn:var:param\n"
-      "               [--component NAME] [--owner NAME] [--inter] [--json]\n"
+      "               [--component NAME] [--owner NAME] [--inter|--intra] [--json]\n"
       "  export-corpus <dir>  write the embedded corpus sources to disk\n"
       "  dump-ast   print the parsed AST of a corpus component\n"
       "  dump-cfg   print the CFG of one function\n");
@@ -131,9 +152,32 @@ std::string flagValue(const std::vector<std::string>& args, const char* flag,
   return fallback;
 }
 
-int cmdExtract(const std::vector<std::string>& args) {
+/// FSDEP_INTER environment variable (parity with FSDEP_JOBS): set to
+/// anything but "", "0", "false" or "off" to make inter-procedural taint
+/// the default for extract/table5/check. Flags still win over the env.
+bool envInterDefault() {
+  const char* env = std::getenv("FSDEP_INTER");
+  if (env == nullptr) return false;
+  const std::string value = env;
+  return !(value.empty() || value == "0" || value == "false" || value == "off");
+}
+
+/// Taint-engine selection shared by extract, table5 and check:
+/// FSDEP_INTER sets the default, --inter forces inter-procedural,
+/// --intra forces intra-procedural, and --legacy-passes swaps the
+/// SCC-summary engine for the whole-program re-analysis fixpoint (the
+/// equivalence oracle).
+taint::AnalysisOptions taintOptionsFromFlags(const std::vector<std::string>& args) {
   taint::AnalysisOptions topts;
-  topts.inter_procedural = hasFlag(args, "--inter");
+  topts.inter_procedural = envInterDefault();
+  if (hasFlag(args, "--inter")) topts.inter_procedural = true;
+  if (hasFlag(args, "--intra")) topts.inter_procedural = false;
+  if (hasFlag(args, "--legacy-passes")) topts.summaries = false;
+  return topts;
+}
+
+int cmdExtract(const std::vector<std::string>& args) {
+  taint::AnalysisOptions topts = taintOptionsFromFlags(args);
   extract::ExtractOptions eopts = corpus::extractOptions();
   eopts.enable_bridging = !hasFlag(args, "--no-bridging");
   topts.field_bridging = eopts.enable_bridging;
@@ -529,8 +573,7 @@ int cmdCheck(const std::vector<std::string>& args) {
   sema::Sema sema_obj(*tu, diags);
   sema_obj.run();
 
-  taint::AnalysisOptions topts;
-  topts.inter_procedural = hasFlag(args, "--inter");
+  const taint::AnalysisOptions topts = taintOptionsFromFlags(args);
   taint::Analyzer analyzer(*tu, sema_obj, topts);
   int seeds = 0;
   for (std::size_t i = 0; i + 1 < args.size(); ++i) {
@@ -573,9 +616,126 @@ int cmdCheck(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The kernel-scale smoke: generate an amplified corpus, analyze every
+/// synthetic component (all functions) across the thread pool, and
+/// extract dependencies over the whole ecosystem. --budget-ms turns the
+/// run into a CI wall-clock guard (exit 3 on overrun).
+int cmdAmplify(const std::vector<std::string>& args) {
+  corpus::AmplifyOptions aopts;
+  const auto parseCount = [&args](const char* flag, std::uint64_t fallback,
+                                  std::uint64_t& out) -> bool {
+    const std::string value = flagValue(args, flag, std::to_string(fallback));
+    char* end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "amplify: %s expects an integer, got '%s'\n", flag, value.c_str());
+      return false;
+    }
+    return true;
+  };
+  std::uint64_t factor = 0;
+  std::uint64_t budget_ms = 0;
+  if (!parseCount("--factor", 100, factor) || !parseCount("--seed", 42, aopts.seed) ||
+      !parseCount("--budget-ms", 0, budget_ms)) {
+    return 2;
+  }
+  if (factor == 0) {
+    std::fprintf(stderr, "amplify: --factor must be positive\n");
+    return 2;
+  }
+  aopts.factor = static_cast<std::size_t>(factor);
+
+  taint::AnalysisOptions topts;
+  topts.inter_procedural = !hasFlag(args, "--intra");
+  if (hasFlag(args, "--legacy-passes")) topts.summaries = false;
+
+  using Clock = std::chrono::steady_clock;
+  const auto millisSince = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  };
+
+  const auto t0 = Clock::now();
+  const std::vector<std::string> names = corpus::amplifyCorpus(aopts);
+  const auto t1 = Clock::now();
+
+  std::vector<std::unique_ptr<corpus::AnalyzedComponent>> components(names.size());
+  ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
+    auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
+    component->analyze({});
+    components[i] = std::move(component);
+  });
+  const auto t2 = Clock::now();
+
+  std::size_t functions = 0;
+  std::size_t write_events = 0;
+  std::vector<extract::ComponentRun> runs;
+  runs.reserve(components.size());
+  for (const auto& component : components) {
+    functions += component->analyzer().results().size();
+    write_events += component->analyzer().writeEvents().size();
+    runs.push_back(component->asRun());
+  }
+  const std::vector<model::Dependency> deps =
+      extract::extractDependencies(runs, corpus::amplifiedExtractOptions());
+  const auto t3 = Clock::now();
+
+  const double generate_ms = millisSince(t0, t1);
+  const double analyze_ms = millisSince(t1, t2);
+  const double extract_ms = millisSince(t2, t3);
+  const double total_ms = millisSince(t0, t3);
+  const bool over_budget = budget_ms > 0 && total_ms > static_cast<double>(budget_ms);
+  const char* engine = !topts.inter_procedural ? "intra"
+                       : topts.summaries       ? "summary"
+                                               : "legacy-passes";
+
+  {
+    obs::RunReport& report = obs::RunReport::global();
+    report.note("amplify_components", names.size());
+    report.note("amplify_functions", functions);
+    report.note("amplify_write_events", write_events);
+    report.note("amplify_deps", deps.size());
+    report.note("amplify_engine", engine);
+  }
+
+  if (hasFlag(args, "--json")) {
+    json::Object root;
+    root["factor"] = static_cast<std::uint64_t>(aopts.factor);
+    root["seed"] = aopts.seed;
+    root["engine"] = engine;
+    root["components"] = static_cast<std::uint64_t>(names.size());
+    root["functions"] = static_cast<std::uint64_t>(functions);
+    root["write_events"] = static_cast<std::uint64_t>(write_events);
+    root["dependencies"] = static_cast<std::uint64_t>(deps.size());
+    root["generate_ms"] = generate_ms;
+    root["analyze_ms"] = analyze_ms;
+    root["extract_ms"] = extract_ms;
+    root["total_ms"] = total_ms;
+    root["budget_ms"] = budget_ms;
+    root["within_budget"] = !over_budget;
+    std::fputs(json::writePretty(root).c_str(), stdout);
+  } else {
+    std::printf("amplified corpus: factor %llu, seed %llu, engine %s\n",
+                static_cast<unsigned long long>(aopts.factor),
+                static_cast<unsigned long long>(aopts.seed), engine);
+    std::printf("  components:   %zu\n", names.size());
+    std::printf("  functions:    %zu\n", functions);
+    std::printf("  write events: %zu\n", write_events);
+    std::printf("  dependencies: %zu\n", deps.size());
+    std::printf("  generate %.1f ms, analyze %.1f ms, extract %.1f ms (total %.1f ms)\n",
+                generate_ms, analyze_ms, extract_ms, total_ms);
+  }
+  if (over_budget) {
+    std::fprintf(stderr, "amplify: %.1f ms exceeds --budget-ms %llu, exiting 3\n", total_ms,
+                 static_cast<unsigned long long>(budget_ms));
+    return 3;
+  }
+  return 0;
+}
+
 /// Dispatches one command (global flags already stripped from `args`).
 int runCommand(const std::string& command, const std::vector<std::string>& args) {
   if (command == "extract") return cmdExtract(args);
+  if (command == "amplify") return cmdAmplify(args);
   if (command == "table2") {
     std::fputs(study::formatTable2(study::runCoverageStudy()).c_str(), stdout);
     return 0;
@@ -589,7 +749,7 @@ int runCommand(const std::string& command, const std::vector<std::string>& args)
     return 0;
   }
   if (command == "table5") {
-    const corpus::Table5Result result = corpus::runTable5();
+    const corpus::Table5Result result = corpus::runTable5(taintOptionsFromFlags(args));
     obs::RunReport::global().note("unique_deps", result.unique_deps.size());
     std::fputs(corpus::formatTable5(result).c_str(), stdout);
     return 0;
@@ -630,7 +790,7 @@ int runCommand(const std::string& command, const std::vector<std::string>& args)
   if (command == "xfs") {
     const extract::ExtractOptions options = corpus::xfsExtractOptions();
     const auto deps =
-        corpus::runScenario(corpus::xfsScenario(), taint::AnalysisOptions{}, &options);
+        corpus::runScenario(corpus::xfsScenario(), taintOptionsFromFlags(args), &options);
     if (hasFlag(args, "--json")) {
       std::fputs(json::writePretty(model::toJson(deps)).c_str(), stdout);
     } else {

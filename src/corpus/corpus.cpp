@@ -1,5 +1,6 @@
 #include "corpus/corpus.h"
 
+#include "corpus/amplify.h"
 #include "corpus/sources_internal.h"
 
 namespace fsdep::corpus {
@@ -31,6 +32,7 @@ std::string_view componentSource(std::string_view component) {
   if (component == "mkfs_btrfs") return kMkfsBtrfsSource;
   if (component == "btrfs") return kBtrfsKernelSource;
   if (component == "btrfs_balance") return kBtrfsBalanceSource;
+  if (const auto amp = amplifiedSource(component)) return *amp;
   return {};
 }
 
@@ -39,7 +41,7 @@ std::optional<std::string> headerSource(std::string_view name) {
   if (name == "fsdep_libc.h") return std::string(kLibcHeader);
   if (name == "xfs_fs.h") return std::string(kXfsFsHeader);
   if (name == "btrfs_fs.h") return std::string(kBtrfsFsHeader);
-  return std::nullopt;
+  return amplifiedHeader(name);
 }
 
 extract::ExtractOptions extractOptions() {

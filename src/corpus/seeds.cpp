@@ -5,6 +5,8 @@
 // involves several of the component's own parameters.
 #include "corpus/corpus.h"
 
+#include "corpus/amplify.h"
+
 namespace fsdep::corpus {
 
 std::vector<taint::Seed> componentSeeds(std::string_view component) {
@@ -191,7 +193,7 @@ std::vector<taint::Seed> componentSeeds(std::string_view component) {
         {"btrfs_balance_main", "force", "btrfs_balance.force"},
     };
   }
-  return {};
+  return amplifiedSeeds(component);
 }
 
 }  // namespace fsdep::corpus

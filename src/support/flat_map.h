@@ -1,11 +1,16 @@
-// A sorted-vector map: the taint hot loop replaces std::map node churn
-// with binary search over one contiguous buffer. Keys are cheap to
-// compare (pointers, interned ids), values are LabelSets; iteration is in
-// key order, so everything downstream stays deterministic.
+// A sorted struct-of-arrays map: the taint hot loop replaces std::map
+// node churn with binary search over contiguous buffers. Keys are cheap
+// to compare (pointers, interned ids) and live in their own dense array,
+// so the merge prepass — the scan deciding which keys are new — streams
+// key words only, never the (larger) LabelSet payloads interleaved
+// between them. Values sit in a parallel array at the same index.
+// Iteration is in key order, so everything downstream stays
+// deterministic.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -14,68 +19,115 @@ namespace fsdep {
 template <typename Key, typename Value>
 class FlatMap {
  public:
-  using Entry = std::pair<Key, Value>;
-  using iterator = typename std::vector<Entry>::iterator;
-  using const_iterator = typename std::vector<Entry>::const_iterator;
+  /// Iterators yield a {first, second} reference pair, so range-for with
+  /// structured bindings and `it->second` read exactly like the
+  /// array-of-pairs layout they replaced.
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    struct reference {
+      const Key& first;
+      std::conditional_t<Const, const Value&, Value&> second;
+    };
+    struct pointer {
+      reference ref;
+      reference* operator->() { return &ref; }
+    };
+
+    Iter(Map* map, std::size_t index) : map_(map), index_(index) {}
+    reference operator*() const { return reference{map_->keys_[index_], map_->values_[index_]}; }
+    pointer operator->() const { return pointer{**this}; }
+    Iter& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const Iter& other) const { return index_ == other.index_; }
+    [[nodiscard]] std::size_t index() const { return index_; }
+
+   private:
+    Map* map_;
+    std::size_t index_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
 
   /// std::map-style: inserts a default Value when the key is absent.
   Value& operator[](const Key& key) {
-    const iterator it = lowerBound(key);
-    if (it != entries_.end() && it->first == key) return it->second;
-    return entries_.insert(it, Entry{key, Value{}})->second;
+    const std::size_t i = lowerBound(key);
+    if (i < keys_.size() && keys_[i] == key) return values_[i];
+    keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(i), key);
+    return *values_.insert(values_.begin() + static_cast<std::ptrdiff_t>(i), Value{});
   }
 
   [[nodiscard]] const_iterator find(const Key& key) const {
-    const const_iterator it = lowerBound(key);
-    return it != entries_.end() && it->first == key ? it : entries_.end();
+    const std::size_t i = lowerBound(key);
+    return i < keys_.size() && keys_[i] == key ? const_iterator(this, i) : end();
   }
   [[nodiscard]] iterator find(const Key& key) {
-    const iterator it = lowerBound(key);
-    return it != entries_.end() && it->first == key ? it : entries_.end();
+    const std::size_t i = lowerBound(key);
+    return i < keys_.size() && keys_[i] == key ? iterator(this, i) : end();
   }
 
   [[nodiscard]] bool contains(const Key& key) const { return find(key) != end(); }
 
-  iterator begin() { return entries_.begin(); }
-  iterator end() { return entries_.end(); }
-  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
-  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, keys_.size()); }
+  [[nodiscard]] const_iterator begin() const { return const_iterator(this, 0); }
+  [[nodiscard]] const_iterator end() const { return const_iterator(this, keys_.size()); }
 
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
-  void reserve(std::size_t n) { entries_.reserve(n); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  void clear() {
+    keys_.clear();
+    values_.clear();
+  }
+  void reserve(std::size_t n) {
+    keys_.reserve(n);
+    values_.reserve(n);
+  }
 
-  bool operator==(const FlatMap& other) const = default;
+  /// The dense sorted key array (index-parallel with values()).
+  [[nodiscard]] const std::vector<Key>& keys() const { return keys_; }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const FlatMap& other) const {
+    return keys_ == other.keys_ && values_ == other.values_;
+  }
 
   /// Pointwise merge: for every entry of `other`, merge(value, theirs)
   /// when the key exists here, else copy it in. One linear walk over both
-  /// sorted vectors — no per-key binary searches. `merge` returns true
+  /// sorted key arrays — no per-key binary searches, and no payload
+  /// traffic until a key actually needs merging. `merge` returns true
   /// when the destination value changed; a copied-in entry counts as a
   /// change exactly when `grew(copy)` says so (an empty LabelSet copied
   /// in preserves equality semantics but is not growth).
   template <typename Merge, typename Grew>
   bool mergeFrom(const FlatMap& other, Merge&& merge, Grew&& grew) {
-    if (other.entries_.empty()) return false;
+    if (other.keys_.empty()) return false;
     bool changed = false;
-    // Count the keys missing here so one reallocation fits the result.
+    // Count the keys missing here so one reallocation fits the result;
+    // this scan touches only the two dense key arrays.
     std::size_t missing = 0;
     {
-      const_iterator a = entries_.begin();
-      for (const Entry& b : other.entries_) {
-        while (a != entries_.end() && a->first < b.first) ++a;
-        if (a == entries_.end() || b.first < a->first) ++missing;
+      std::size_t a = 0;
+      for (const Key& b : other.keys_) {
+        while (a < keys_.size() && keys_[a] < b) ++a;
+        if (a == keys_.size() || b < keys_[a]) ++missing;
       }
     }
-    if (missing > 0) entries_.reserve(entries_.size() + missing);
+    if (missing > 0) reserve(keys_.size() + missing);
     std::size_t a = 0;
-    for (const Entry& b : other.entries_) {
-      while (a < entries_.size() && entries_[a].first < b.first) ++a;
-      if (a < entries_.size() && entries_[a].first == b.first) {
-        changed |= merge(entries_[a].second, b.second);
+    for (std::size_t b = 0; b < other.keys_.size(); ++b) {
+      const Key& bk = other.keys_[b];
+      while (a < keys_.size() && keys_[a] < bk) ++a;
+      if (a < keys_.size() && keys_[a] == bk) {
+        changed |= merge(values_[a], other.values_[b]);
       } else {
-        entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(a), b);
-        changed |= grew(b.second);
+        keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(a), bk);
+        values_.insert(values_.begin() + static_cast<std::ptrdiff_t>(a), other.values_[b]);
+        changed |= grew(other.values_[b]);
       }
       ++a;
     }
@@ -83,16 +135,13 @@ class FlatMap {
   }
 
  private:
-  [[nodiscard]] iterator lowerBound(const Key& key) {
-    return std::lower_bound(entries_.begin(), entries_.end(), key,
-                            [](const Entry& e, const Key& k) { return e.first < k; });
-  }
-  [[nodiscard]] const_iterator lowerBound(const Key& key) const {
-    return std::lower_bound(entries_.begin(), entries_.end(), key,
-                            [](const Entry& e, const Key& k) { return e.first < k; });
+  [[nodiscard]] std::size_t lowerBound(const Key& key) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
   }
 
-  std::vector<Entry> entries_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
 };
 
 }  // namespace fsdep

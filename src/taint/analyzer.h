@@ -15,9 +15,17 @@
 // Two modes:
 //   * intra-procedural (the paper's prototype): calls are opaque; their
 //     result carries the union of argument labels.
-//   * inter-procedural (the paper's §6 future work, used for ablation):
-//     argument labels bind to callee parameters and return labels flow
-//     back, iterated to a whole-TU fixpoint.
+//   * inter-procedural (the paper's §6 future work, now the scalable
+//     default): argument labels bind to callee parameters and return
+//     labels flow back. The fixpoint is computed on SCC-ordered
+//     call-graph function summaries — each function is analyzed once
+//     symbolically (its parameters carry placeholder labels), the
+//     resulting (param -> returns/bindings) transfer summaries are
+//     resolved bottom-up over the Tarjan SCC condensation (iterating
+//     only inside cycles), entry bindings are propagated top-down, and
+//     one final concrete pass produces the per-function states. A
+//     legacy whole-program re-analysis (`max_global_passes`) is kept
+//     behind AnalysisOptions::summaries=false for equivalence testing.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ast/ast.h"
@@ -39,6 +48,10 @@ struct AnalysisOptions {
   /// When false, reading a metadata field does not produce the field's
   /// bridge label; CCD extraction then finds nothing (ablation knob).
   bool field_bridging = true;
+  /// Inter-procedural engine: SCC-ordered function summaries (true, the
+  /// default) or the legacy whole-program re-analysis capped at
+  /// `max_global_passes` (false; kept as the equivalence-test oracle).
+  bool summaries = true;
   int max_global_passes = 10;
   std::size_t max_trace_steps = 24;
 
@@ -77,6 +90,10 @@ struct WriteEvent {
 struct FunctionTaint {
   const ast::FunctionDecl* fn = nullptr;
   std::unique_ptr<cfg::Cfg> cfg;
+  /// Reverse post-order of `cfg`, computed once per run and shared by
+  /// every fixpoint over this function (concrete passes, symbolic
+  /// sweeps, exit replay).
+  std::vector<cfg::BlockId> rpo;
   /// Entry state of each basic block after the fixpoint (indexed by id).
   std::vector<TaintState> block_entry;
   /// State at the point each block's branch condition is evaluated.
@@ -99,9 +116,7 @@ class Analyzer {
 
   [[nodiscard]] const FunctionTaint* resultFor(const ast::FunctionDecl* fn) const;
   [[nodiscard]] const FunctionTaint* resultFor(std::string_view function_name) const;
-  [[nodiscard]] const std::vector<std::unique_ptr<FunctionTaint>>& results() const {
-    return results_;
-  }
+  [[nodiscard]] const std::vector<ArenaPtr<FunctionTaint>>& results() const { return results_; }
 
   [[nodiscard]] LabelTable& labels() { return labels_; }
   [[nodiscard]] const LabelTable& labels() const { return labels_; }
@@ -137,15 +152,42 @@ class Analyzer {
  private:
   void seedEntryState(const ast::FunctionDecl& fn, TaintState& state);
   void analyzeFunction(FunctionTaint& result);
+  /// Summary engine (options_.summaries): one concrete pre-pass, then
+  /// bottom-up symbolic summaries over the SCC condensation, top-down
+  /// entry-binding propagation, and one final concrete pass.
+  void runSummarized();
+  /// Symbolic CFG fixpoint of one function: parameters carry placeholder
+  /// labels (placeholder_base_ + index); return labels land in sym_ret_,
+  /// per-callsite argument labels in sym_bind_. No traces/writes.
+  void analyzeFunctionSymbolic(FunctionTaint& result);
+  /// Call graph among analyzed functions (deterministic first-encounter
+  /// edge order) and its Tarjan condensation, emitted callee-first.
+  void buildCallGraph();
+  [[nodiscard]] std::vector<std::vector<const ast::FunctionDecl*>> condenseSccs() const;
+  /// Replaces placeholder labels (>= placeholder_base_) of `fn`'s
+  /// summary with the per-index sets from `subst`; concrete labels pass
+  /// through.
+  [[nodiscard]] LabelSet instantiateSummary(const LabelSet& summary,
+                                            const std::vector<LabelSet>& subst) const;
   void transferStmt(const ast::Stmt& stmt, TaintState& state);
   LabelSet evalExpr(const ast::Expr& expr, TaintState& state, bool effects);
   void assignTo(const ast::Expr& lhs, const ast::Expr* rhs, const LabelSet& labels, bool strong,
                 TaintState& state, SourceLoc loc, ast::BinaryOp op = ast::BinaryOp::Assign);
-  void recordTrace(const std::string& object, SourceLoc loc, std::string text);
+  void recordTrace(const std::string& object, SourceLoc loc, const std::string& text);
   void recordWrite(const ast::Expr& assign, const std::string& object, bool is_field,
                    const std::string& field_key, const LabelSet& labels, const ast::Expr* rhs,
                    SourceLoc loc, ast::BinaryOp op);
   [[nodiscard]] std::string describeVar(const ast::VarDecl& var) const;
+  /// describeVar, memoized by declaration (the display name of a decl
+  /// never changes).
+  [[nodiscard]] const std::string& varNameFor(const ast::VarDecl& var) const;
+  /// The "object <- rhs" trace text of one assignment site, memoized by
+  /// site pointer: the text is pure AST rendering, so building it once
+  /// per site (instead of on every fixpoint replay) is observationally
+  /// identical. exprToString recursion dominated the amplified-corpus
+  /// profile before this.
+  [[nodiscard]] const std::string& traceTextFor(const void* site, const std::string& object,
+                                                const ast::Expr* rhs, const char* fallback) const;
   [[nodiscard]] const ast::VarDecl* findVarInFunction(const ast::FunctionDecl& fn,
                                                       std::string_view name) const;
   /// Interned id of the field a member expression touches, memoized per
@@ -161,19 +203,48 @@ class Analyzer {
   mutable FieldKeyTable field_keys_;
   mutable std::unordered_map<const ast::FieldDecl*, FieldKeyId> field_id_memo_;
   mutable std::vector<LabelId> bridge_label_memo_;  ///< indexed by FieldKeyId
+  // AST-derived display strings are run-invariant, so these memos are
+  // never cleared (the AST outlives the analyzer via the component
+  // cache entry).
+  mutable std::unordered_map<const ast::VarDecl*, std::string> var_name_memo_;
+  mutable std::unordered_map<const void*, std::string> trace_text_memo_;
+  /// Assignment sites whose trace step was already offered this run.
+  /// A site's (object, loc, text) triple is fixed, so recordTrace is
+  /// idempotent per site — later replays can skip the call outright.
+  std::unordered_set<const void*> trace_done_;
   std::vector<Seed> seeds_;
+  /// Per-run cache of seed-to-variable resolution (the AST walk), so
+  /// fixpoint re-entries don't re-walk function bodies. Label interning
+  /// is NOT cached — it must stay in first-use order.
+  std::map<const ast::FunctionDecl*, std::vector<std::pair<const Seed*, const ast::VarDecl*>>>
+      seed_memo_;
 
-  std::vector<std::unique_ptr<FunctionTaint>> results_;
+  /// Storage for per-function results; declared before results_ so the
+  /// arena outlives the ArenaPtrs into it.
+  Arena arena_;
+  std::vector<ArenaPtr<FunctionTaint>> results_;
   std::map<const ast::FunctionDecl*, FunctionTaint*> by_fn_;
   const ast::FunctionDecl* current_fn_ = nullptr;
   FunctionTaint* current_result_ = nullptr;
 
   std::map<const ast::VarDecl*, LabelSet> sticky_;
 
-  // Inter-procedural machinery.
+  // Inter-procedural machinery (both engines).
   std::map<const ast::FunctionDecl*, TaintState> entry_bindings_;
   std::map<const ast::FunctionDecl*, LabelSet> return_summaries_;
   bool bindings_changed_ = false;
+
+  // Summary engine (options_.summaries): placeholder labels occupy ids
+  // >= placeholder_base_, which is frozen after the concrete pre-pass —
+  // by then every concrete label (seeds, field bridges) is interned, so
+  // the two id spaces cannot collide.
+  bool summary_mode_ = false;
+  LabelId placeholder_base_ = 0;
+  LabelSet* summary_return_sink_ = nullptr;
+  bool summary_changed_ = false;
+  std::map<const ast::FunctionDecl*, LabelSet> sym_ret_;
+  std::map<const ast::FunctionDecl*, std::map<const ast::VarDecl*, LabelSet>> sym_bind_;
+  std::map<const ast::FunctionDecl*, std::vector<const ast::FunctionDecl*>> callees_;
 
   std::uint64_t merge_calls_ = 0;
   std::uint64_t merge_grew_ = 0;

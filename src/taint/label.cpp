@@ -46,14 +46,55 @@ FieldKeyId FieldKeyTable::internKey(std::string key) {
   return id;
 }
 
+void LabelSet::grow(std::size_t need) {
+  const std::size_t doubled = static_cast<std::size_t>(nwords_) * 2;
+  const std::size_t newcap = need > doubled ? need : doubled;
+  auto* fresh = new std::uint64_t[newcap];
+  const std::uint64_t* old = words();
+  for (std::size_t i = 0; i < nwords_; ++i) fresh[i] = old[i];
+  for (std::size_t i = nwords_; i < newcap; ++i) fresh[i] = 0;
+  release();
+  heap_ = fresh;
+  nwords_ = static_cast<std::uint32_t>(newcap);
+}
+
+void LabelSet::copyFrom(const LabelSet& other) {
+  count_ = other.count_;
+  nwords_ = other.nwords_;
+  if (other.isInline()) {
+    inline_[0] = other.inline_[0];
+    inline_[1] = other.inline_[1];
+  } else {
+    heap_ = new std::uint64_t[nwords_];
+    for (std::size_t i = 0; i < nwords_; ++i) heap_[i] = other.heap_[i];
+  }
+}
+
+void LabelSet::moveFrom(LabelSet& other) noexcept {
+  count_ = other.count_;
+  nwords_ = other.nwords_;
+  if (other.isInline()) {
+    inline_[0] = other.inline_[0];
+    inline_[1] = other.inline_[1];
+  } else {
+    heap_ = other.heap_;
+  }
+  other.count_ = 0;
+  other.nwords_ = kInlineWords;
+  other.inline_[0] = 0;
+  other.inline_[1] = 0;
+}
+
 bool unionInto(LabelSet& into, const LabelSet& from) {
   if (from.count_ == 0) return false;
-  if (into.words_.size() < from.words_.size()) into.words_.resize(from.words_.size(), 0);
+  if (into.nwords_ < from.nwords_) into.grow(from.nwords_);
+  const std::uint64_t* src = from.words();
+  std::uint64_t* dst = into.words();
   std::uint32_t added = 0;
-  for (std::size_t i = 0; i < from.words_.size(); ++i) {
-    const std::uint64_t grown = from.words_[i] & ~into.words_[i];
+  for (std::size_t i = 0; i < from.nwords_; ++i) {
+    const std::uint64_t grown = src[i] & ~dst[i];
     if (grown != 0) {
-      into.words_[i] |= grown;
+      dst[i] |= grown;
       added += static_cast<std::uint32_t>(std::popcount(grown));
     }
   }

@@ -11,6 +11,12 @@
 // bitwise OR instead of a std::set node walk. Iteration yields ids in
 // ascending order, exactly like the std::set it replaced, so extraction
 // and traces stay deterministic.
+//
+// Storage is a two-word small buffer (128 labels) inline in the object:
+// a component's label universe (its seeded parameters plus the metadata
+// fields it touches) almost always fits, so the fixpoint's constant
+// copying and merging of temporary sets never touches the heap. Sets
+// that outgrow the buffer spill to a heap array transparently.
 #pragma once
 
 #include <bit>
@@ -26,36 +32,63 @@ using LabelId = std::uint32_t;
 
 class LabelSet {
  public:
+  /// Words stored inline: 128 labels before the set spills to the heap.
+  static constexpr std::size_t kInlineWords = 2;
+
+  LabelSet() = default;
+  LabelSet(const LabelSet& other) { copyFrom(other); }
+  LabelSet(LabelSet&& other) noexcept { moveFrom(other); }
+  LabelSet& operator=(const LabelSet& other) {
+    if (this != &other) {
+      release();
+      copyFrom(other);
+    }
+    return *this;
+  }
+  LabelSet& operator=(LabelSet&& other) noexcept {
+    if (this != &other) {
+      release();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  ~LabelSet() { release(); }
+
   /// Sets the bit; returns true when it was newly set.
   bool insert(LabelId id) {
     const std::size_t word = id >> 6;
-    if (word >= words_.size()) words_.resize(word + 1, 0);
+    if (word >= nwords_) grow(word + 1);
+    std::uint64_t* w = words();
     const std::uint64_t bit = std::uint64_t{1} << (id & 63);
-    if ((words_[word] & bit) != 0) return false;
-    words_[word] |= bit;
+    if ((w[word] & bit) != 0) return false;
+    w[word] |= bit;
     ++count_;
     return true;
   }
 
   [[nodiscard]] bool contains(LabelId id) const {
     const std::size_t word = id >> 6;
-    return word < words_.size() && (words_[word] >> (id & 63) & 1) != 0;
+    return word < nwords_ && (words()[word] >> (id & 63) & 1) != 0;
   }
 
   [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] std::size_t size() const { return count_; }
   void clear() {
-    words_.clear();
+    release();
     count_ = 0;
+    nwords_ = kInlineWords;
+    inline_[0] = 0;
+    inline_[1] = 0;
   }
 
   /// Equality is set equality; trailing zero words are insignificant.
   bool operator==(const LabelSet& other) const {
     if (count_ != other.count_) return false;
-    const std::size_t common = words_.size() < other.words_.size() ? words_.size()
-                                                                   : other.words_.size();
+    const std::size_t common = nwords_ < other.nwords_ ? nwords_ : other.nwords_;
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
     for (std::size_t i = 0; i < common; ++i) {
-      if (words_[i] != other.words_[i]) return false;
+      if (a[i] != b[i]) return false;
     }
     // Same popcount and identical common prefix => any extra words are 0.
     return true;
@@ -64,9 +97,9 @@ class LabelSet {
   class const_iterator {
    public:
     using value_type = LabelId;
-    const_iterator(const std::vector<std::uint64_t>* words, std::size_t word,
+    const_iterator(const std::uint64_t* words, std::size_t nwords, std::size_t word,
                    std::uint64_t pending)
-        : words_(words), word_(word), pending_(pending) {
+        : words_(words), nwords_(nwords), word_(word), pending_(pending) {
       advance();
     }
     LabelId operator*() const {
@@ -84,27 +117,47 @@ class LabelSet {
 
    private:
     void advance() {
-      while (pending_ == 0 && word_ + 1 < words_->size()) {
+      while (pending_ == 0 && word_ + 1 < nwords_) {
         ++word_;
-        pending_ = (*words_)[word_];
+        pending_ = words_[word_];
       }
-      if (pending_ == 0) word_ = words_->size();  // end
+      if (pending_ == 0) word_ = nwords_;  // end
     }
-    const std::vector<std::uint64_t>* words_;
+    const std::uint64_t* words_;
+    std::size_t nwords_;
     std::size_t word_;
     std::uint64_t pending_;
   };
 
   [[nodiscard]] const_iterator begin() const {
-    return const_iterator(&words_, 0, words_.empty() ? 0 : words_[0]);
+    return const_iterator(words(), nwords_, 0, words()[0]);
   }
-  [[nodiscard]] const_iterator end() const { return const_iterator(&words_, words_.size(), 0); }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(words(), nwords_, nwords_, 0);
+  }
+
+  /// True while the set lives entirely in the inline buffer (test hook).
+  [[nodiscard]] bool isInline() const { return nwords_ <= kInlineWords; }
 
   friend bool unionInto(LabelSet& into, const LabelSet& from);
 
  private:
-  std::vector<std::uint64_t> words_;
+  [[nodiscard]] std::uint64_t* words() { return isInline() ? inline_ : heap_; }
+  [[nodiscard]] const std::uint64_t* words() const { return isInline() ? inline_ : heap_; }
+
+  void grow(std::size_t need);
+  void release() {
+    if (!isInline()) delete[] heap_;
+  }
+  void copyFrom(const LabelSet& other);
+  void moveFrom(LabelSet& other) noexcept;
+
   std::uint32_t count_ = 0;
+  std::uint32_t nwords_ = kInlineWords;
+  union {
+    std::uint64_t inline_[kInlineWords] = {0, 0};  ///< active when nwords_ <= kInlineWords
+    std::uint64_t* heap_;                          ///< active when nwords_ > kInlineWords
+  };
 };
 
 class LabelTable {

@@ -14,8 +14,9 @@
 namespace fsdep::corpus {
 namespace {
 
-std::string table5Json(const PipelineOptions& pipeline) {
-  const Table5Result result = runTable5({}, nullptr, pipeline);
+std::string table5Json(const PipelineOptions& pipeline,
+                       const taint::AnalysisOptions& taint_options = {}) {
+  const Table5Result result = runTable5(taint_options, nullptr, pipeline);
   json::Value value = model::toJson(result.unique_deps);
   return json::writePretty(value);
 }
@@ -30,6 +31,25 @@ TEST(PipelineDeterminism, SerialAndParallelTable5AreByteIdentical) {
   for (int run = 0; run < 3; ++run) {
     EXPECT_EQ(table5Json(serial), reference) << "serial run " << run;
     EXPECT_EQ(table5Json(parallel), reference) << "parallel run " << run;
+  }
+}
+
+TEST(PipelineDeterminism, InterProceduralSerialAndParallelAreByteIdentical) {
+  // The SCC-summary engine must be just as schedule-independent as the
+  // intra engine: per-component analyses race on the pool, but the
+  // summary construction inside each analyzer is single-threaded and
+  // the extraction order is fixed.
+  taint::AnalysisOptions inter;
+  inter.inter_procedural = true;
+  const PipelineOptions serial{.jobs = 1, .use_cache = true};
+  const PipelineOptions parallel{.jobs = 4, .use_cache = true};
+
+  const std::string reference = table5Json(serial, inter);
+  ASSERT_FALSE(reference.empty());
+
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(table5Json(serial, inter), reference) << "serial run " << run;
+    EXPECT_EQ(table5Json(parallel, inter), reference) << "parallel run " << run;
   }
 }
 

@@ -1,0 +1,133 @@
+// The SCC-summary inter-procedural engine is the default; the legacy
+// whole-program re-analysis (AnalysisOptions::summaries = false) is kept
+// as the oracle. On the embedded corpus the two must be observationally
+// identical: same interned label ids (id order is semantic — rendered
+// sets ascend by id and extraction anchors on the smallest id), same
+// write events, same field-write bridges, same per-function return
+// labels, and byte-identical extracted dependencies.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/pipeline.h"
+#include "json/json.h"
+#include "model/serialization.h"
+#include "taint/label.h"
+
+namespace fsdep::corpus {
+namespace {
+
+taint::AnalysisOptions summaryOpts() {
+  taint::AnalysisOptions options;
+  options.inter_procedural = true;
+  options.summaries = true;
+  return options;
+}
+
+taint::AnalysisOptions legacyOpts() {
+  taint::AnalysisOptions options;
+  options.inter_procedural = true;
+  options.summaries = false;
+  return options;
+}
+
+std::vector<std::string> allComponents() {
+  std::vector<std::string> names = componentNames();
+  for (const std::string& n : xfsComponentNames()) names.push_back(n);
+  for (const std::string& n : btrfsComponentNames()) names.push_back(n);
+  return names;
+}
+
+TEST(SummaryEquivalence, Table5ByteIdentical) {
+  const Table5Result summary = runTable5(summaryOpts(), nullptr, {.jobs = 1});
+  const Table5Result legacy = runTable5(legacyOpts(), nullptr, {.jobs = 1});
+  EXPECT_EQ(json::writePretty(model::toJson(summary.unique_deps)),
+            json::writePretty(model::toJson(legacy.unique_deps)));
+  EXPECT_EQ(formatTable5(summary), formatTable5(legacy));
+}
+
+TEST(SummaryEquivalence, PerScenarioDependenciesByteIdentical) {
+  for (const Scenario& s : scenarios()) {
+    const std::vector<model::Dependency> summary = runScenario(s, summaryOpts(), nullptr, {.jobs = 1});
+    const std::vector<model::Dependency> legacy = runScenario(s, legacyOpts(), nullptr, {.jobs = 1});
+    EXPECT_EQ(json::writePretty(model::toJson(summary)), json::writePretty(model::toJson(legacy)))
+        << "scenario " << s.id;
+  }
+}
+
+// All-functions mode (no pre-selection) over every component of all three
+// ecosystems: the deepest inter-procedural exercise the corpus offers.
+TEST(SummaryEquivalence, WholeComponentAnalyzerStateIdentical) {
+  for (const std::string& name : allComponents()) {
+    AnalyzedComponent summary(name, summaryOpts());
+    summary.analyze({});
+    AnalyzedComponent legacy(name, legacyOpts());
+    legacy.analyze({});
+    const taint::Analyzer& a = summary.analyzer();
+    const taint::Analyzer& b = legacy.analyzer();
+
+    ASSERT_EQ(a.labels().size(), b.labels().size()) << name;
+    for (taint::LabelId id = 0; id < a.labels().size(); ++id) {
+      EXPECT_EQ(a.labels().name(id), b.labels().name(id)) << name << " label " << id;
+    }
+
+    const auto fields_a = a.fieldWrites();
+    const auto fields_b = b.fieldWrites();
+    ASSERT_EQ(fields_a.size(), fields_b.size()) << name;
+    for (const auto& [key, labels] : fields_a) {
+      const auto it = fields_b.find(key);
+      ASSERT_NE(it, fields_b.end()) << name << " field " << key;
+      EXPECT_EQ(labelSetToString(a.labels(), labels), labelSetToString(b.labels(), it->second))
+          << name << " field " << key;
+    }
+
+    const auto writes_a = a.writeEvents();
+    const auto writes_b = b.writeEvents();
+    ASSERT_EQ(writes_a.size(), writes_b.size()) << name;
+    for (std::size_t i = 0; i < writes_a.size(); ++i) {
+      EXPECT_EQ(writes_a[i]->object, writes_b[i]->object) << name;
+      EXPECT_EQ(writes_a[i]->loc.line, writes_b[i]->loc.line) << name;
+      EXPECT_EQ(writes_a[i]->loc.column, writes_b[i]->loc.column) << name;
+      EXPECT_EQ(labelSetToString(a.labels(), writes_a[i]->labels),
+                labelSetToString(b.labels(), writes_b[i]->labels))
+          << name << " write to " << writes_a[i]->object;
+    }
+
+    ASSERT_EQ(a.results().size(), b.results().size()) << name;
+    for (std::size_t i = 0; i < a.results().size(); ++i) {
+      const taint::FunctionTaint& ra = *a.results()[i];
+      const taint::FunctionTaint& rb = *b.results()[i];
+      ASSERT_EQ(ra.fn->name, rb.fn->name) << name;
+      EXPECT_EQ(labelSetToString(a.labels(), ra.return_labels),
+                labelSetToString(b.labels(), rb.return_labels))
+          << name << "." << ra.fn->name << " returns";
+    }
+  }
+}
+
+// Taint traces are first-discovery ordered; the summary engine's final
+// concrete pass must discover the same steps as the legacy engine's
+// passes 2..N did.
+TEST(SummaryEquivalence, TracesIdentical) {
+  for (const std::string& name : allComponents()) {
+    AnalyzedComponent summary(name, summaryOpts());
+    summary.analyze({});
+    AnalyzedComponent legacy(name, legacyOpts());
+    legacy.analyze({});
+    for (const taint::WriteEvent* w : summary.analyzer().writeEvents()) {
+      const auto* trace_a = summary.analyzer().traceFor(w->object);
+      const auto* trace_b = legacy.analyzer().traceFor(w->object);
+      ASSERT_NE(trace_a, nullptr) << name << " " << w->object;
+      ASSERT_NE(trace_b, nullptr) << name << " " << w->object;
+      ASSERT_EQ(trace_a->size(), trace_b->size()) << name << " " << w->object;
+      for (std::size_t i = 0; i < trace_a->size(); ++i) {
+        EXPECT_EQ((*trace_a)[i].text, (*trace_b)[i].text) << name << " " << w->object;
+        EXPECT_EQ((*trace_a)[i].loc.line, (*trace_b)[i].loc.line) << name << " " << w->object;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsdep::corpus
