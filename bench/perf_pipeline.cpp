@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "corpus/pipeline.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "support/thread_pool.h"
 
@@ -73,6 +74,25 @@ void BM_Table5TracingOn(benchmark::State& state) {
   state.counters["cache"] = 1.0;
 }
 BENCHMARK(BM_Table5TracingOn)->Unit(benchmark::kMillisecond);
+
+// Profiling = tracing + span aggregation + render; bench_compare.sh
+// holds this against BM_Table5TracingOff with the same 3% budget, so
+// `--profile` costs what `--trace` costs plus an explicitly-guarded
+// aggregation term.
+void BM_Table5ProfilingOn(benchmark::State& state) {
+  const corpus::PipelineOptions pipeline{.jobs = 2, .use_cache = true};
+  benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));  // warm cache
+  for (auto _ : state) {
+    obs::Trace::start();
+    benchmark::DoNotOptimize(corpus::runTable5({}, nullptr, pipeline));
+    const std::vector<obs::TraceEvent> events = obs::Trace::stopEvents();
+    const obs::Profile profile = obs::buildProfile(events, 1.0, "table5");
+    benchmark::DoNotOptimize(obs::renderProfileText(profile));
+  }
+  state.counters["jobs"] = 2.0;
+  state.counters["cache"] = 1.0;
+}
+BENCHMARK(BM_Table5ProfilingOn)->Unit(benchmark::kMillisecond);
 
 // Single scenario, the interactive `fsdep extract --scenario` path.
 void BM_ScenarioSeedVsCached(benchmark::State& state, bool use_cache) {

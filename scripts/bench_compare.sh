@@ -4,10 +4,25 @@
 # repo root. BM_Table5SeedSerial is the seed pipeline's behavior (one
 # thread, no component cache); compare it against BM_Table5Parallel/4
 # for the end-to-end speedup reported in EXPERIMENTS.md.
-# Usage: scripts/bench_compare.sh [builddir] [pipeline.json] [campaign.json] [scale.json]
+#
+# Usage: scripts/bench_compare.sh [--update-baseline | --against-baseline]
+#                                 [builddir] [pipeline.json] [campaign.json] [scale.json]
+#
+#   --update-baseline   after the run, rewrite bench/baselines/*.json
+#                       from this run's numbers (scripts/bench_ledger.py)
+#   --against-baseline  after the run, compare this run's
+#                       machine-independent ratios to the committed
+#                       baselines; >10% regression fails (CI mode)
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+LEDGER_MODE=""
+case "${1:-}" in
+  --update-baseline) LEDGER_MODE=update; shift ;;
+  --against-baseline) LEDGER_MODE=check; shift ;;
+esac
+
 BUILD=${1:-"$ROOT/build"}
 OUT=${2:-"$ROOT/BENCH_pipeline.json"}
 
@@ -22,11 +37,12 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_pipeline
 
 echo "wrote $OUT"
 
-# Observability overhead guard: tracing-ON vs tracing-OFF Table 5 runs.
-# The instrumentation is always compiled in, so the fully-enabled trace
-# collection is a measurable upper bound on what the disabled hooks
-# (one relaxed atomic load per span) can cost. Fail when even that
-# upper bound exceeds 3%.
+# Observability overhead guard: tracing-ON and profiling-ON vs
+# tracing-OFF Table 5 runs. The instrumentation is always compiled in,
+# so the fully-enabled trace collection is a measurable upper bound on
+# what the disabled hooks (one relaxed atomic load per span) can cost;
+# profiling adds span aggregation + render on top of the same trace.
+# Fail when either upper bound exceeds 3%.
 python3 - "$OUT" <<'EOF'
 import json, sys
 
@@ -35,12 +51,14 @@ means = {b["name"]: b["real_time"] for b in doc["benchmarks"]
          if b.get("aggregate_name") == "mean"}
 off = means.get("BM_Table5TracingOff_mean")
 on = means.get("BM_Table5TracingOn_mean")
-if off is None or on is None:
-    sys.exit("missing BM_Table5TracingOff/BM_Table5TracingOn in the benchmark output")
-overhead = (on - off) / off * 100.0
-print(f"tracing overhead: off={off:.2f} on={on:.2f} -> {overhead:+.2f}%")
-if overhead > 3.0:
-    sys.exit(f"observability overhead {overhead:.2f}% exceeds the 3% budget")
+profiling = means.get("BM_Table5ProfilingOn_mean")
+if off is None or on is None or profiling is None:
+    sys.exit("missing BM_Table5TracingOff/TracingOn/ProfilingOn in the benchmark output")
+for label, enabled in (("tracing", on), ("profiling", profiling)):
+    overhead = (enabled - off) / off * 100.0
+    print(f"{label} overhead: off={off:.2f} on={enabled:.2f} -> {overhead:+.2f}%")
+    if overhead > 3.0:
+        sys.exit(f"{label} overhead {overhead:.2f}% exceeds the 3% budget")
 EOF
 
 # Kernel-scale guard: the SCC-summary inter-procedural engine on the
@@ -119,3 +137,12 @@ if serial["dedup_ratio"] <= 0.0:
 if serial["unique_outcomes"] == 0:
     sys.exit("campaign produced no outcome classes")
 EOF
+
+# Perf-baseline ledger: record this run (--update-baseline) or gate it
+# against the committed bench/baselines/*.json (--against-baseline).
+# Only machine-independent ratios are gated; absolute ms is printed as
+# an informational delta.
+if [ -n "$LEDGER_MODE" ]; then
+  python3 "$ROOT/scripts/bench_ledger.py" "$LEDGER_MODE" \
+    --pipeline "$OUT" --campaign "$CAMPAIGN_OUT" --scale "$SCALE_OUT"
+fi

@@ -27,12 +27,17 @@ cmake -B "$PREFIX-tsan" -S "$ROOT" -DFSDEP_SANITIZE=thread
 cmake --build "$PREFIX-tsan" -j "$JOBS" \
   --target thread_pool_test component_cache_test pipeline_determinism_test \
            summary_equivalence_test amplify_test \
-           pipeline_test corpus_test obs_test obs_pipeline_test campaign_test
+           pipeline_test corpus_test obs_test obs_pipeline_test campaign_test \
+           profile_test cli_obs_amplify_test
 # Force multi-threaded execution even on single-core machines so TSan
-# actually sees cross-thread interleavings.
+# actually sees cross-thread interleavings. cli_obs_amplify_test drives
+# a TSan-instrumented fsdep binary over the amplified corpus with
+# trace+metrics+profile all enabled — the most write-heavy workload the
+# per-thread trace buffers see.
 for t in thread_pool_test component_cache_test pipeline_determinism_test \
          summary_equivalence_test amplify_test \
-         pipeline_test corpus_test obs_test obs_pipeline_test campaign_test; do
+         pipeline_test corpus_test obs_test obs_pipeline_test campaign_test \
+         profile_test cli_obs_amplify_test; do
   echo "-- $t (FSDEP_JOBS=4)"
   FSDEP_JOBS=4 "$PREFIX-tsan/tests/$t"
 done

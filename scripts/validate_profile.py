@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate fsdep profile output for CI.
+
+Two modes:
+
+  validate_profile.py json <profile.json> [--schema docs/profile_schema.json]
+      Validates the JSON attribution tree against the committed schema
+      (a small built-in checker covering the schema subset we use:
+      type / required / properties / items / minimum / $ref into
+      definitions — no external jsonschema dependency). Also enforces
+      tree invariants the schema can't express: self <= total,
+      min <= p50 <= p95 <= max, and children totals fit in the parent.
+
+  validate_profile.py folded <profile.folded>
+      Sanity-checks collapsed-stack output: at least one stack, every
+      line is `frame(;frame)* <count>`, no empty frames, counts > 0.
+
+Exits nonzero with a message on the first violation.
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def resolve(schema, root):
+    while "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/"):
+            fail(f"unsupported $ref {ref}")
+        node = root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        schema = node
+    return schema
+
+
+def fail(msg):
+    sys.exit(f"validate_profile: {msg}")
+
+
+def check(value, schema, root, path):
+    schema = resolve(schema, root)
+    expected = schema.get("type")
+    if expected:
+        py = TYPES[expected]
+        ok = isinstance(value, py)
+        if expected in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if expected == "integer" and isinstance(value, float):
+            ok = value.is_integer()
+        if not ok:
+            fail(f"{path}: expected {expected}, got {type(value).__name__} ({value!r})")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            fail(f"{path}: {value} below minimum {schema['minimum']}")
+    if expected == "object":
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{path}: missing required field '{key}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, root, f"{path}.{key}")
+    if expected == "array" and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], root, f"{path}[{i}]")
+
+
+def check_node_invariants(node, path):
+    if node["self_us"] > node["total_us"]:
+        fail(f"{path}: self_us {node['self_us']} > total_us {node['total_us']}")
+    if node["count"] > 0:
+        if not (node["min_us"] <= node["p50_us"] <= node["p95_us"] <= node["max_us"]):
+            fail(f"{path}: percentile ordering violated "
+                 f"(min {node['min_us']} p50 {node['p50_us']} "
+                 f"p95 {node['p95_us']} max {node['max_us']})")
+    child_total = sum(c["total_us"] for c in node["children"])
+    if child_total > node["total_us"]:
+        fail(f"{path}: children total {child_total} exceeds node total {node['total_us']}")
+    for i, child in enumerate(node["children"]):
+        check_node_invariants(child, f"{path}.children[{i}]")
+
+
+def validate_json(profile_path, schema_path):
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(profile_path) as f:
+        doc = json.load(f)
+    check(doc, schema, schema, "$")
+    check_node_invariants(doc["root"], "$.root")
+    if doc["event_count"] == 0:
+        fail("profile contains no events — instrumentation did not fire")
+    print(f"validate_profile: {profile_path} ok — "
+          f"{doc['event_count']} events, coverage {doc['coverage']:.1%}, "
+          f"{doc['dropped_events']} dropped")
+
+
+def validate_folded(folded_path):
+    stacks = 0
+    with open(folded_path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            stack, sep, count = line.rpartition(" ")
+            if not sep or not stack:
+                fail(f"{folded_path}:{lineno}: not 'stack count': {line!r}")
+            if not count.isdigit() or int(count) <= 0:
+                fail(f"{folded_path}:{lineno}: bad sample count {count!r}")
+            frames = stack.split(";")
+            if any(not frame for frame in frames):
+                fail(f"{folded_path}:{lineno}: empty frame in {stack!r}")
+            stacks += 1
+    if stacks == 0:
+        fail(f"{folded_path}: no stacks — nothing to flamegraph")
+    print(f"validate_profile: {folded_path} ok — {stacks} stacks")
+
+
+def main():
+    if len(sys.argv) < 3 or sys.argv[1] not in ("json", "folded"):
+        sys.exit(__doc__)
+    mode, target = sys.argv[1], sys.argv[2]
+    if mode == "folded":
+        validate_folded(target)
+        return
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    schema = os.path.join(root, "docs", "profile_schema.json")
+    if len(sys.argv) >= 5 and sys.argv[3] == "--schema":
+        schema = sys.argv[4]
+    validate_json(target, schema)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -65,6 +67,12 @@ int usage() {
       "                  histograms) as JSON on exit\n"
       "  --report FILE   write a structured run report (version, command,\n"
       "                  wall time, metrics, per-command facts) as JSON\n"
+      "  --profile FILE  aggregate spans into a hierarchical wall-time\n"
+      "                  attribution tree and write it to FILE (stdout is\n"
+      "                  byte-identical to a run without --profile)\n"
+      "  --profile-format FMT  text (sorted self-time table, default),\n"
+      "                  json (attribution tree), or folded (collapsed\n"
+      "                  stacks for flamegraph renderers)\n"
       "  --log LEVEL     stderr log level: debug|info|warn|error|off\n"
       "                  (default: FSDEP_LOG env var, else warn;\n"
       "                  FSDEP_LOG_FORMAT=json switches to JSON lines)\n"
@@ -125,6 +133,10 @@ int usage() {
       "               --json            emit JSON instead of text\n"
       "               --fail-on CLASSES exit 3 on the given outcome classes\n"
       "                                 (adds 'failed' for dead cells)\n"
+      "  profile    run a command under the profiler and print the\n"
+      "             attribution to stdout (default wrapped command: table5)\n"
+      "               fsdep profile [--format text|json|folded] [--out FILE]\n"
+      "                             [<command> [args...]]\n"
       "  xfs        run the analyzer over the XFS mini-ecosystem (paper SS6)\n"
       "  bugs       list the 67-case bug study dataset (--json for JSON)\n"
       "  explain    show everything known about one parameter\n"
@@ -655,15 +667,23 @@ int cmdAmplify(const std::vector<std::string>& args) {
   };
 
   const auto t0 = Clock::now();
-  const std::vector<std::string> names = corpus::amplifyCorpus(aopts);
+  const std::vector<std::string> names = [&] {
+    obs::Span span("amplify", "generate");
+    return corpus::amplifyCorpus(aopts);
+  }();
   const auto t1 = Clock::now();
 
   std::vector<std::unique_ptr<corpus::AnalyzedComponent>> components(names.size());
-  ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
-    auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
-    component->analyze({});
-    components[i] = std::move(component);
-  });
+  {
+    obs::Span span("amplify", "analyze");
+    ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
+      obs::Span component_span("pipeline", "analyze");
+      component_span.arg("component", names[i]);
+      auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
+      component->analyze({});
+      components[i] = std::move(component);
+    });
+  }
   const auto t2 = Clock::now();
 
   std::size_t functions = 0;
@@ -675,8 +695,10 @@ int cmdAmplify(const std::vector<std::string>& args) {
     write_events += component->analyzer().writeEvents().size();
     runs.push_back(component->asRun());
   }
-  const std::vector<model::Dependency> deps =
-      extract::extractDependencies(runs, corpus::amplifiedExtractOptions());
+  const std::vector<model::Dependency> deps = [&] {
+    obs::Span span("amplify", "extract");
+    return extract::extractDependencies(runs, corpus::amplifiedExtractOptions());
+  }();
   const auto t3 = Clock::now();
 
   const double generate_ms = millisSince(t0, t1);
@@ -899,23 +921,35 @@ int runCommand(const std::string& command, const std::vector<std::string>& args)
 
 /// Per-invocation observability session. start() flips tracing on when
 /// requested; finish() records wall time / exit code and writes the
-/// trace, metrics and report files. Output files are written even when
-/// the command fails — a failing run is exactly the one worth studying.
+/// trace, profile, metrics and report files. Output files are written
+/// even when the command fails — a failing run is exactly the one worth
+/// studying.
 class ObsSession {
  public:
   std::string trace_path;
   std::string metrics_path;
   std::string report_path;
+  /// Profile destination; "" with profile_enabled means stdout (the
+  /// `fsdep profile` subcommand).
+  std::string profile_path;
+  bool profile_enabled = false;
+  obs::ProfileFormat profile_format = obs::ProfileFormat::Text;
 
   void start(const std::string& command, const std::vector<std::string>& args) {
+    command_ = command;
     start_ = std::chrono::steady_clock::now();
     obs::RunReport& report = obs::RunReport::global();
     report.setCommand(command, args);
     report.setJobs(ThreadPool::globalJobs());
-    if (!trace_path.empty()) obs::Trace::start();
+    if (!trace_path.empty() || profile_enabled) obs::Trace::start();
+    // The root span makes the whole run attributable: everything the
+    // command does nests under cli/<command>, so profile coverage is
+    // the command span's share of measured wall time.
+    if (profile_enabled) root_span_.emplace("cli", command_.c_str());
   }
 
   void finish(int exit_code) {
+    root_span_.reset();  // close the root before measuring wall time
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
             .count();
@@ -923,8 +957,23 @@ class ObsSession {
     report.setWallMillis(wall_ms);
     report.setExitCode(exit_code);
     FSDEP_LOG_INFO("cli", "done in %.1f ms (exit %d)", wall_ms, exit_code);
-    if (!trace_path.empty() && !obs::Trace::stopToFile(trace_path)) {
-      FSDEP_LOG_ERROR("cli", "cannot write trace file %s", trace_path.c_str());
+    if (!trace_path.empty() || profile_enabled) {
+      // One collection serves both outputs; no JSON round trip for the
+      // profile.
+      const std::vector<obs::TraceEvent> events = obs::Trace::stopEvents();
+      report.setTraceDropped(obs::Trace::droppedEvents());
+      if (!trace_path.empty() && !writeText(trace_path, obs::Trace::render(events))) {
+        FSDEP_LOG_ERROR("cli", "cannot write trace file %s", trace_path.c_str());
+      }
+      if (profile_enabled) {
+        const obs::Profile profile = obs::buildProfile(events, wall_ms, command_);
+        const std::string text = obs::renderProfile(profile, profile_format);
+        if (profile_path.empty()) {
+          std::fputs(text.c_str(), stdout);
+        } else if (!writeText(profile_path, text)) {
+          FSDEP_LOG_ERROR("cli", "cannot write profile file %s", profile_path.c_str());
+        }
+      }
     }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
@@ -940,6 +989,17 @@ class ObsSession {
   }
 
  private:
+  static bool writeText(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << text;
+    return static_cast<bool>(out);
+  }
+
+  std::string command_;
+  /// Wraps the whole command; its name points into command_, which
+  /// outlives it.
+  std::optional<obs::Span> root_span_;
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
@@ -991,6 +1051,23 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
+    if (args[i] == "--profile" && i + 1 < args.size()) {
+      obs.profile_enabled = true;
+      obs.profile_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    if (args[i] == "--profile-format" && i + 1 < args.size()) {
+      if (!obs::parseProfileFormat(args[i + 1], obs.profile_format)) {
+        std::fprintf(stderr, "--profile-format wants text|json|folded, got '%s'\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     if (args[i] == "--log" && i + 1 < args.size()) {
       const obs::LogLevel parsed =
           obs::parseLogLevel(args[i + 1].c_str(), obs::LogLevel::Off);
@@ -1007,13 +1084,47 @@ int main(int argc, char** argv) {
     ++i;
   }
 
-  obs.start(command, args);
+  // `fsdep profile [--format F] [--out FILE] [<command> [args...]]` is
+  // sugar for running the wrapped command with profiling on; without
+  // --out, the attribution goes to stdout after the command's output.
+  std::string command_to_run = command;
+  if (command == "profile") {
+    obs.profile_enabled = true;
+    for (std::size_t i = 0; i < args.size();) {
+      if (args[i] == "--out" && i + 1 < args.size()) {
+        obs.profile_path = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        continue;
+      }
+      if (args[i] == "--format" && i + 1 < args.size()) {
+        if (!obs::parseProfileFormat(args[i + 1], obs.profile_format)) {
+          std::fprintf(stderr, "profile: --format wants text|json|folded, got '%s'\n",
+                       args[i + 1].c_str());
+          return 2;
+        }
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        continue;
+      }
+      ++i;
+    }
+    command_to_run = "table5";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].rfind("--", 0) == 0) continue;
+      command_to_run = args[i];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+
+  obs.start(command_to_run, args);
   int code = 0;
   try {
-    code = runCommand(command, args);
+    code = runCommand(command_to_run, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsdep: %s\n", e.what());
-    FSDEP_LOG_ERROR("cli", "%s: %s", command.c_str(), e.what());
+    FSDEP_LOG_ERROR("cli", "%s: %s", command_to_run.c_str(), e.what());
     code = 1;
   }
   obs.finish(code);

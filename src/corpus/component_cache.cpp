@@ -70,12 +70,17 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
     if (it != slots_.end() && it->second.options == options) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       hit_counter.add();
+      // The per-component series costs a registry lookup, but we are
+      // already under the cache mutex — hit/miss attribution per
+      // component is what the profile's cache rows are built from.
+      obs::Registry::global().counter("cache.hits", {{"component", name}}).add();
       future = it->second.future;
     } else {
       // First request, or an options mismatch: (re)build. Prior waiters
       // keep their shared_future; this slot now serves the new options.
       misses_.fetch_add(1, std::memory_order_relaxed);
       miss_counter.add();
+      obs::Registry::global().counter("cache.misses", {{"component", name}}).add();
       future = promise.get_future().share();
       slots_[name] = Slot{options, future};
       is_builder = true;

@@ -70,6 +70,9 @@ void AnalyzedComponent::analyze(const std::vector<std::string>& function_names) 
   reg().counter("pipeline.components_analyzed", by_component).add(1);
   reg().counter("pipeline.merge_calls", by_component).add(analyzer_->mergeCalls());
   reg().counter("pipeline.merge_grew", by_component).add(analyzer_->mergeGrew());
+  reg().counter("taint.stmt_visits", by_component).add(analyzer_->stmtVisits());
+  reg().gauge("taint.arena_bytes", by_component)
+      .set(static_cast<std::uint64_t>(analyzer_->arenaBytes()));
 }
 
 extract::ComponentRun AnalyzedComponent::asRun() const {

@@ -19,6 +19,37 @@ void Histogram::observe(std::uint64_t v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double mean = static_cast<double>(sum()) / static_cast<double>(n);
+  // Nearest-rank target in [1, n].
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no upper edge to interpolate against.
+      const double last_bound =
+          bounds_.empty() ? 0.0 : static_cast<double>(bounds_.back());
+      return std::max(last_bound, mean);
+    }
+    const double upper = static_cast<double>(bounds_[i]);
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    const double within =
+        static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * within;
+  }
+  return mean;  // unreachable when counts are consistent
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -203,6 +234,9 @@ std::string Registry::renderJson() const {
     writeLabels(w, entry.labels);
     w.field("count", h.count());
     w.field("sum", h.sum());
+    w.field("p50", h.quantile(0.50));
+    w.field("p95", h.quantile(0.95));
+    w.field("p99", h.quantile(0.99));
     w.key("bounds");
     w.beginArray();
     for (const std::uint64_t b : h.bounds()) w.value(b);

@@ -71,6 +71,14 @@ class Histogram {
     return counts_[i].load(std::memory_order_relaxed);
   }
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket holding the target rank. Edge semantics: an empty
+  /// histogram returns 0; when the rank lands in the overflow bucket
+  /// the upper edge is unknown, so the estimate is max(largest finite
+  /// bound, mean); a histogram with no finite bounds returns the mean.
+  [[nodiscard]] double quantile(double q) const;
+
   void reset();
 
  private:

@@ -1,0 +1,82 @@
+// Span-aggregated performance attribution — the `fsdep profile`
+// engine. Consumes the raw trace events collected by Trace (no JSON
+// round trip) and folds them into a hierarchical wall-time attribution
+// tree: each node is a (category, name, group) span identity at a
+// specific position under its parent, carrying self/total/count/min/
+// max/p50/p95 statistics. The `group` dimension comes from well-known
+// span args (scenario, component, function, op — see TraceEvent::group),
+// so the tree reads phase → scenario → component → function without
+// parsing args_json.
+//
+// Nesting is reconstructed per tid from (ts, dur) containment, the same
+// rule Perfetto applies. RAII spans land in the buffers in END order,
+// so events are re-sorted (ts asc, dur desc) to put parents before
+// their children before the containment walk.
+//
+// Three renderers:
+//   - text:   run header + per-span-name aggregate table sorted by self
+//             time + top hot (name, group) nodes
+//   - json:   full attribution tree (schema: docs/profile_schema.json)
+//   - folded: Brendan-Gregg collapsed stacks ("a;b;c self_us"), ready
+//             for any flamegraph renderer
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fsdep::obs {
+
+/// One node of the attribution tree. Children are stored by index into
+/// Profile::nodes (index 0 is the synthetic root).
+struct ProfileNode {
+  std::string category;
+  std::string name;
+  /// Attribution group: well-known span-arg values joined with '/'
+  /// (e.g. "resize/resize2fs"). Empty for undimensioned spans.
+  std::string group;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;  ///< sum of span durations at this node
+  std::uint64_t self_us = 0;   ///< total minus attributed child time
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t p50_us = 0;  ///< exact (from per-node samples), not estimated
+  std::uint64_t p95_us = 0;
+  std::vector<std::size_t> children;
+};
+
+/// The built attribution tree plus run-level accounting.
+struct Profile {
+  std::string command;             ///< CLI command the run executed
+  std::vector<ProfileNode> nodes;  ///< nodes[0] is the synthetic root
+  double wall_ms = 0.0;            ///< measured wall time of the run
+  std::uint64_t attributed_us = 0;  ///< sum of top-level span totals
+  std::uint64_t event_count = 0;    ///< Complete events aggregated
+  std::uint64_t dropped_events = 0;  ///< buffer-overflow drops (see trace.h)
+  /// attributed_us / wall_ms as a fraction (0..~1). The CLI wraps every
+  /// command in a root "cli" span, so this is ~1.0 unless buffers
+  /// saturated or spans raced stop().
+  [[nodiscard]] double coverage() const {
+    return wall_ms > 0.0 ? static_cast<double>(attributed_us) / (wall_ms * 1000.0) : 0.0;
+  }
+};
+
+/// Aggregates `events` (as returned by Trace::stopEvents()) into an
+/// attribution tree. Instant events are ignored; only Complete spans
+/// carry time.
+Profile buildProfile(const std::vector<TraceEvent>& events, double wall_ms,
+                     std::string command);
+
+enum class ProfileFormat { Text, Json, Folded };
+
+/// Parses "text" | "json" | "folded". Returns false on anything else.
+bool parseProfileFormat(std::string_view text, ProfileFormat& out);
+
+std::string renderProfileText(const Profile& profile);
+std::string renderProfileJson(const Profile& profile);
+std::string renderProfileFolded(const Profile& profile);
+std::string renderProfile(const Profile& profile, ProfileFormat format);
+
+}  // namespace fsdep::obs

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/jsonw.h"
+#include "obs/metrics.h"
 
 namespace fsdep::obs {
 
@@ -15,6 +16,9 @@ std::atomic<bool> Trace::enabled_{false};
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::size_t> g_buffer_limit{std::size_t{1} << 18};
 
 /// One thread's event buffer. The owning thread appends under `mu`
 /// (uncontended except during stop()); the collector locks the same
@@ -107,6 +111,7 @@ void Trace::start() {
     }
     s.epoch = Clock::now();
   }
+  g_dropped.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -114,6 +119,13 @@ std::string Trace::stop() {
   enabled_.store(false, std::memory_order_relaxed);
   return renderTrace(drainEvents(/*clear=*/true));
 }
+
+std::vector<TraceEvent> Trace::stopEvents() {
+  enabled_.store(false, std::memory_order_relaxed);
+  return drainEvents(/*clear=*/true);
+}
+
+std::string Trace::render(const std::vector<TraceEvent>& events) { return renderTrace(events); }
 
 bool Trace::stopToFile(const std::string& path) {
   const std::string text = stop();
@@ -134,7 +146,21 @@ void Trace::emit(TraceEvent event) {
   ThreadBuffer& buffer = localBuffer();
   event.tid = buffer.tid;
   const std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= g_buffer_limit.load(std::memory_order_relaxed)) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    static Counter& dropped_counter = Registry::global().counter("trace.dropped_events");
+    dropped_counter.add();
+    return;
+  }
   buffer.events.push_back(std::move(event));
+}
+
+std::uint64_t Trace::droppedEvents() { return g_dropped.load(std::memory_order_relaxed); }
+
+std::size_t Trace::bufferLimit() { return g_buffer_limit.load(std::memory_order_relaxed); }
+
+void Trace::setBufferLimit(std::size_t limit) {
+  g_buffer_limit.store(limit == 0 ? 1 : limit, std::memory_order_relaxed);
 }
 
 void Trace::instant(const char* category, std::string name, std::string args_json) {
@@ -171,6 +197,12 @@ void Span::begin(const char* category, const char* name) {
   active_ = true;
 }
 
+void Span::noteDim(std::string_view key, std::string_view value) {
+  if (key != "scenario" && key != "component" && key != "function" && key != "op") return;
+  if (!group_.empty()) group_ += '/';
+  group_ += value;
+}
+
 void Span::end() {
   // Tracing may have been stopped mid-span; emit() drops the event then.
   TraceEvent e;
@@ -181,6 +213,7 @@ void Span::end() {
   const std::uint64_t now = Trace::nowMicros();
   e.dur_us = now >= start_us_ ? now - start_us_ : 0;
   e.args_json = std::move(args_json_);
+  e.group = std::move(group_);
   Trace::emit(std::move(e));
 }
 

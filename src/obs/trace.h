@@ -16,6 +16,11 @@
 // pool workers that exit before stop() lose nothing. Every event
 // carries a small sequential tid assigned at registration; Perfetto
 // reconstructs span nesting per tid from (ts, dur).
+//
+// Buffers are bounded (bufferLimit() events per thread). Overflowing
+// events are dropped — and counted, both in droppedEvents() and in the
+// "trace.dropped_events" registry counter, so saturation is visible in
+// --metrics and --report instead of silently truncating the profile.
 #pragma once
 
 #include <atomic>
@@ -39,6 +44,11 @@ struct TraceEvent {
   /// Pre-escaped JSON object fragment ("" = no args), e.g.
   /// "\"component\":\"mke2fs\",\"scenario\":\"s1\"".
   std::string args_json;
+  /// Attribution dimension: the values of well-known string args
+  /// (scenario, component, function, op) joined with '/'. The profile
+  /// aggregator groups same-name spans by this; the JSON render ignores
+  /// it (the values are already in args_json).
+  std::string group;
 };
 
 class Trace {
@@ -55,6 +65,16 @@ class Trace {
   /// Stops collecting and renders everything gathered since start() as
   /// a Chrome trace-event JSON document ({"traceEvents":[...]}).
   static std::string stop();
+
+  /// Stops collecting and hands back the raw merged events (sorted by
+  /// ts, tid), clearing the buffers. The profile aggregator consumes
+  /// this directly — no JSON round trip.
+  static std::vector<TraceEvent> stopEvents();
+
+  /// Renders events as a Chrome trace-event JSON document. `events`
+  /// usually comes from stopEvents(); exposed so one collection can
+  /// feed both --trace and --profile.
+  static std::string render(const std::vector<TraceEvent>& events);
 
   /// stop() + write to `path`. Returns false when the file cannot be
   /// written (the trace text is lost; callers log and carry on).
@@ -73,6 +93,15 @@ class Trace {
   /// Snapshot of all collected events, merged and sorted by (ts, tid).
   /// Test hook; production code uses stop().
   static std::vector<TraceEvent> snapshot();
+
+  /// Events dropped since start() because a thread's buffer was full.
+  static std::uint64_t droppedEvents();
+
+  /// Per-thread buffer bound, in events. The default (1<<18 per thread,
+  /// ~32 MB worst case across a pool) comfortably holds a factor-100
+  /// amplified run; tests shrink it to exercise the drop path.
+  static std::size_t bufferLimit();
+  static void setBufferLimit(std::size_t limit);
 
  private:
   friend class Span;
@@ -103,8 +132,14 @@ class Span {
 
   /// Attaches an argument; no-op when inactive, so call sites can pass
   /// computed values guarded by active() to stay zero-cost when off.
+  /// String args under a well-known dimension key (scenario, component,
+  /// function, op) also extend the span's attribution group — the key
+  /// the profile aggregator buckets same-name spans by.
   void arg(std::string_view key, std::string_view value) {
-    if (active_) appendArg(args_json_, key, value);
+    if (active_) {
+      appendArg(args_json_, key, value);
+      noteDim(key, value);
+    }
   }
   void arg(std::string_view key, std::uint64_t value) {
     if (active_) appendArg(args_json_, key, value);
@@ -113,10 +148,12 @@ class Span {
  private:
   void begin(const char* category, const char* name);
   void end();
+  void noteDim(std::string_view key, std::string_view value);
 
   const char* category_ = nullptr;
   const char* name_ = nullptr;
   std::string args_json_;
+  std::string group_;
   std::uint64_t start_us_ = 0;
   bool active_ = false;
 };

@@ -159,6 +159,7 @@ void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
   placeholder_base_ = 0;
   merge_calls_ = 0;
   merge_grew_ = 0;
+  stmt_visits_ = 0;
 
   for (const FunctionDecl* fn : fns) {
     if (fn == nullptr || !fn->isDefinition()) continue;
@@ -192,6 +193,7 @@ void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
 void Analyzer::analyzeFunction(FunctionTaint& result) {
   obs::Span span("taint", "fixpoint");
   span.arg("function", result.fn->name);
+  const std::uint64_t stmts_before = stmt_visits_;
   const cfg::Cfg& cfg = *result.cfg;
   result.block_entry.assign(cfg.size(), TaintState{});
   result.at_condition.assign(cfg.size(), TaintState{});
@@ -251,6 +253,7 @@ void Analyzer::analyzeFunction(FunctionTaint& result) {
     for (const Stmt* s : block.stmts) transferStmt(*s, state);
     result.exit_state.mergeFrom(state);
   }
+  span.arg("stmts", stmt_visits_ - stmts_before);
 }
 
 void Analyzer::runSummarized() {
@@ -292,8 +295,11 @@ void Analyzer::runSummarized() {
     sccs = condenseSccs();
     summary_mode_ = true;
     for (const auto& scc : sccs) {
+      obs::Span scc_span("taint", "scc_symbolic");
+      scc_span.arg("function", scc.front()->name);
       const bool cyclic = isCyclic(scc);
       int guard = 0;
+      const std::uint64_t sweeps_before = symbolic_sweeps;
       do {
         summary_changed_ = false;
         for (const FunctionDecl* fn : scc) {
@@ -304,6 +310,8 @@ void Analyzer::runSummarized() {
           ++symbolic_sweeps;
         }
       } while (cyclic && summary_changed_ && ++guard < 64);
+      scc_span.arg("functions", static_cast<std::uint64_t>(scc.size()));
+      scc_span.arg("sweeps", symbolic_sweeps - sweeps_before);
     }
     summary_mode_ = false;
     summary_return_sink_ = nullptr;
@@ -579,6 +587,7 @@ LabelSet Analyzer::instantiateSummary(const LabelSet& summary,
 }
 
 void Analyzer::transferStmt(const Stmt& stmt, TaintState& state) {
+  ++stmt_visits_;
   switch (stmt.kind()) {
     case StmtKind::Decl: {
       for (const auto& var : static_cast<const DeclStmt&>(stmt).vars) {

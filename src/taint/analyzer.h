@@ -149,6 +149,13 @@ class Analyzer {
   [[nodiscard]] std::uint64_t mergeCalls() const { return merge_calls_; }
   [[nodiscard]] std::uint64_t mergeGrew() const { return merge_grew_; }
 
+  /// Statements visited by transferStmt() across every fixpoint sweep of
+  /// the run — the AST tree-walk floor the profile attributes time to.
+  [[nodiscard]] std::uint64_t stmtVisits() const { return stmt_visits_; }
+
+  /// Bytes the result arena currently holds (per-function taint state).
+  [[nodiscard]] std::size_t arenaBytes() const { return arena_.bytesUsed(); }
+
  private:
   void seedEntryState(const ast::FunctionDecl& fn, TaintState& state);
   void analyzeFunction(FunctionTaint& result);
@@ -248,6 +255,7 @@ class Analyzer {
 
   std::uint64_t merge_calls_ = 0;
   std::uint64_t merge_grew_ = 0;
+  std::uint64_t stmt_visits_ = 0;
 
   std::map<FieldKeyId, LabelSet> field_writes_;
   std::map<std::string, std::vector<TraceStep>> traces_;

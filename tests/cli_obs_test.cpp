@@ -145,6 +145,74 @@ TEST(CliObs, Table5StdoutIsByteIdenticalUnderInstrumentation) {
   EXPECT_TRUE(r.find("metrics")->asObject().contains("histograms"));
 }
 
+TEST(CliObs, ProfileFlagKeepsStdoutByteIdentical) {
+  const std::string profile = tempPath("cli_obs_t5_profile.txt");
+  const std::string plain = runCli("table5 --jobs 4");
+  const std::string profiled = runCli("table5 --jobs 4 --profile " + profile);
+  EXPECT_EQ(plain, profiled);
+  const std::string text = slurp(profile);
+  EXPECT_NE(text.find("fsdep profile"), std::string::npos) << text;
+  EXPECT_NE(text.find("by span (sorted by self time):"), std::string::npos) << text;
+  EXPECT_NE(text.find("pipeline/analyze"), std::string::npos) << text;
+}
+
+TEST(CliObs, ProfileJsonTreeAttributesTheRun) {
+  const std::string profile = tempPath("cli_obs_t5_profile.json");
+  runCli("table5 --profile " + profile + " --profile-format json");
+  const json::Value doc = parseOrFail(slurp(profile), "profile json");
+  const json::Object& root = doc.asObject();
+  EXPECT_EQ(root.find("schema_version")->asInt(), 1);
+  EXPECT_EQ(root.find("command")->asString(), "table5");
+  EXPECT_EQ(root.find("dropped_events")->asInt(), 0);
+  EXPECT_GT(root.find("event_count")->asInt(), 20);
+  // The cli root span makes the whole command attributable.
+  EXPECT_GT(root.find("coverage")->asDouble(), 0.95);
+  const json::Object& tree = root.find("root")->asObject();
+  const json::Array& top = tree.find("children")->asArray();
+  ASSERT_GE(top.size(), 1u);
+  bool saw_cli = false;
+  for (const json::Value& child : top) {
+    const json::Object& node = child.asObject();
+    if (node.find("category")->asString() == "cli") {
+      saw_cli = true;
+      EXPECT_EQ(node.find("name")->asString(), "table5");
+      EXPECT_GE(node.find("children")->asArray().size(), 1u);
+      EXPECT_GE(node.find("total_us")->asInt(), node.find("self_us")->asInt());
+    }
+  }
+  EXPECT_TRUE(saw_cli);
+}
+
+TEST(CliObs, ProfileFoldedOutputHasCleanStacks) {
+  const std::string profile = tempPath("cli_obs_t5_profile.folded");
+  runCli("table5 --profile " + profile + " --profile-format folded");
+  const std::string folded = slurp(profile);
+  std::stringstream lines(folded);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string stack = line.substr(0, sp);
+    EXPECT_FALSE(stack.empty()) << line;
+    EXPECT_EQ(stack.find(";;"), std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(sp + 1)), 0u) << line;
+    ++count;
+  }
+  EXPECT_GE(count, 5) << folded;
+  EXPECT_NE(folded.find("table5;"), std::string::npos) << folded;
+}
+
+TEST(CliObs, ProfileSubcommandWrapsAnyCommand) {
+  const std::string out = runCli("profile extract --scenario s3");
+  // The wrapped command's output comes first, the attribution after.
+  const std::size_t deps_pos = out.find("dependencies extracted");
+  const std::size_t prof_pos = out.find("fsdep profile — extract");
+  ASSERT_NE(deps_pos, std::string::npos) << out;
+  ASSERT_NE(prof_pos, std::string::npos) << out;
+  EXPECT_LT(deps_pos, prof_pos);
+}
+
 TEST(CliObs, LogFlagControlsStderr) {
   const std::string quiet_err = tempPath("cli_obs_log_off.txt");
   const std::string info_err = tempPath("cli_obs_log_info.txt");

@@ -102,6 +102,72 @@ TEST(Metrics, HistogramBucketMath) {
   EXPECT_EQ(h.bucketValue(0), 0u);
 }
 
+TEST(Metrics, HistogramQuantileInterpolates) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {}, {10, 100, 1000});
+  // 10 observations spread evenly across the <=10 bucket...
+  for (int i = 0; i < 10; ++i) h.observe(5);
+  // ...and 10 in the (10, 100] bucket.
+  for (int i = 0; i < 10; ++i) h.observe(50);
+  // p50 lands on the last rank of the first bucket: its upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // p95 is rank 19 of 20 — 90% into the (10, 100] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 91.0);
+  // p25 interpolates inside the first bucket: rank 5 of 10 → half way.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // rank 1 of 10 in [0, 10]
+}
+
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  Registry reg;
+  // Empty histogram: no data, quantiles are 0 by definition.
+  Histogram& empty = reg.histogram("empty", {}, {10});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+
+  // All observations in the overflow bucket: no upper edge exists, so
+  // the estimate is max(largest finite bound, mean).
+  Histogram& overflow = reg.histogram("overflow", {}, {10});
+  overflow.observe(1000);
+  overflow.observe(3000);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.50), 2000.0);  // mean > bound
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 2000.0);
+
+  // Overflow rank but a mean below the last finite bound: clamp up to
+  // the bound (the true value is known to exceed it).
+  Histogram& mixed = reg.histogram("mixed", {}, {100});
+  for (int i = 0; i < 99; ++i) mixed.observe(1);
+  mixed.observe(101);
+  EXPECT_DOUBLE_EQ(mixed.quantile(1.0), 100.0);
+
+  // No finite bounds at all: every observation is "overflow"; the mean
+  // is the only estimate available.
+  Histogram& unbounded = reg.histogram("unbounded", {}, {});
+  unbounded.observe(4);
+  unbounded.observe(8);
+  EXPECT_DOUBLE_EQ(unbounded.quantile(0.50), 6.0);
+
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(unbounded.quantile(-1.0), unbounded.quantile(0.0));
+  EXPECT_DOUBLE_EQ(unbounded.quantile(2.0), unbounded.quantile(1.0));
+}
+
+TEST(Metrics, RenderJsonCarriesQuantileEstimates) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {}, {10, 100});
+  for (int i = 0; i < 10; ++i) h.observe(5);
+  const Result<json::Value> parsed = json::parse(reg.renderJson());
+  ASSERT_TRUE(parsed.ok()) << reg.renderJson();
+  const json::Object& hist =
+      parsed.value().asObject().find("histograms")->asArray().at(0).asObject();
+  ASSERT_TRUE(hist.contains("p50"));
+  ASSERT_TRUE(hist.contains("p95"));
+  ASSERT_TRUE(hist.contains("p99"));
+  EXPECT_GT(hist.find("p50")->asDouble(), 0.0);
+  EXPECT_LE(hist.find("p50")->asDouble(), 10.0);
+  EXPECT_LE(hist.find("p50")->asDouble(), hist.find("p99")->asDouble());
+}
+
 TEST(Metrics, ResetByPrefix) {
   Registry reg;
   reg.counter("pipeline.parse_ns").add(100);
@@ -285,6 +351,34 @@ TEST(Trace, SpansNestCorrectlyAcrossPoolWorkers) {
                              }));
 }
 
+TEST(Trace, BoundedBuffersCountDrops) {
+  const std::size_t saved_limit = Trace::bufferLimit();
+  Trace::setBufferLimit(4);
+  Registry::global().reset("trace.");
+  Trace::start();
+  EXPECT_EQ(Trace::droppedEvents(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    Span span("test", "burst");
+  }
+  const std::vector<TraceEvent> events = Trace::stopEvents();
+  Trace::setBufferLimit(saved_limit);
+
+  // 4 events fit this thread's buffer; the 6 overflowing ones are
+  // dropped and counted, both locally and in the registry series.
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(Trace::droppedEvents(), 6u);
+  EXPECT_EQ(Registry::global().counterValue("trace.dropped_events"), 6u);
+
+  // start() resets the drop count for the next collection.
+  Trace::start();
+  EXPECT_EQ(Trace::droppedEvents(), 0u);
+  {
+    Span span("test", "fits");
+  }
+  EXPECT_EQ(Trace::stopEvents().size(), 1u);
+  EXPECT_EQ(Trace::droppedEvents(), 0u);
+}
+
 // --------------------------------------------------------------- report
 
 TEST(Report, RendersStructuredRunReport) {
@@ -293,6 +387,7 @@ TEST(Report, RendersStructuredRunReport) {
   report.setJobs(4);
   report.setWallMillis(12.5);
   report.setExitCode(0);
+  report.setTraceDropped(7);
   report.note("unique_deps", std::uint64_t{64});
   report.note("outcome", "ok");
   report.note("unique_deps", std::uint64_t{65});  // overwrite, not duplicate
@@ -306,6 +401,7 @@ TEST(Report, RendersStructuredRunReport) {
   EXPECT_EQ(root.find("args")->asArray().size(), 2u);
   EXPECT_EQ(root.find("jobs")->asInt(), 4);
   EXPECT_DOUBLE_EQ(root.find("wall_ms")->asDouble(), 12.5);
+  EXPECT_EQ(root.find("trace_dropped_events")->asInt(), 7);
   const json::Object& facts = root.find("facts")->asObject();
   EXPECT_EQ(facts.size(), 2u);
   EXPECT_EQ(facts.find("unique_deps")->asInt(), 65);
