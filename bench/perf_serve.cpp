@@ -1,0 +1,198 @@
+// fsdep serve latency benchmark: cold one-shot extraction vs a
+// disk-cache warm run vs a warm daemon query over the Unix socket
+// (memoized response, full connect/send/recv round trip). Reports
+// p50/p95 in microseconds and verifies every path returns
+// byte-identical output. With an output path argument it also emits
+// BENCH_serve.json for scripts/bench_compare.sh, which gates the warm
+// serve p50 against FSDEP_SERVE_P50_BUDGET_US (default 1000 us).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/component_cache.h"
+#include "corpus/disk_cache.h"
+#include "corpus/pipeline.h"
+#include "json/json.h"
+#include "model/serialization.h"
+#include "tools/serve.h"
+
+using namespace fsdep;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t usSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+struct Percentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+};
+
+Percentiles percentilesOf(std::vector<std::uint64_t> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.p50 = samples[samples.size() / 2];
+  p.p95 = samples[std::min(samples.size() - 1, samples.size() * 95 / 100)];
+  return p;
+}
+
+json::Object samplesToJson(const std::vector<std::uint64_t>& samples) {
+  const Percentiles p = percentilesOf(samples);
+  json::Object o;
+  o["samples"] = json::Value(static_cast<std::uint64_t>(samples.size()));
+  o["p50_us"] = json::Value(p.p50);
+  o["p95_us"] = json::Value(p.p95);
+  return o;
+}
+
+/// One scenario extraction through the pipeline, rendered the way the
+/// CLI prints it — the reference bytes every other path must match.
+std::string directExtract(const corpus::Scenario& scenario, bool use_disk) {
+  corpus::PipelineOptions options;
+  options.use_disk_cache = use_disk;
+  const std::vector<model::Dependency> deps =
+      corpus::runScenario(scenario, {}, nullptr, options);
+  std::string text;
+  for (const model::Dependency& dep : deps) {
+    text += dep.summary();
+    text.push_back('\n');
+  }
+  text += "\n" + std::to_string(deps.size()) + " dependencies extracted\n";
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kColdRuns = 5;
+  constexpr int kDiskWarmRuns = 20;
+  constexpr int kServeWarmRuns = 200;
+
+  const corpus::Scenario scenario = corpus::scenarios().front();
+  const std::string work =
+      (fs::temp_directory_path() / ("fsdep-perf-serve-" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(work);
+  fs::create_directories(work);
+
+  std::puts("fsdep serve latency: cold extraction vs disk-warm vs warm daemon query");
+  std::printf("(scenario %s; %d cold, %d disk-warm, %d serve-warm samples)\n\n",
+              scenario.id.c_str(), kColdRuns, kDiskWarmRuns, kServeWarmRuns);
+
+  // Cold: full parse + analyze + extract, no caches anywhere.
+  std::vector<std::uint64_t> cold_us;
+  std::string expected;
+  for (int i = 0; i < kColdRuns; ++i) {
+    corpus::ComponentCache::global().clear();
+    const auto start = std::chrono::steady_clock::now();
+    const std::string text = directExtract(scenario, /*use_disk=*/false);
+    cold_us.push_back(usSince(start));
+    if (expected.empty()) expected = text;
+    if (text != expected) {
+      std::fprintf(stderr, "cold run %d output drifted\n", i);
+      return 1;
+    }
+  }
+
+  // Disk-warm: the on-disk result cache answers; no component parses.
+  corpus::DiskCache& disk = corpus::DiskCache::global();
+  disk.configure(corpus::DiskCacheConfig{work + "/cache"});
+  corpus::ComponentCache::global().clear();
+  (void)directExtract(scenario, true);  // populate the entry
+  std::vector<std::uint64_t> disk_us;
+  for (int i = 0; i < kDiskWarmRuns; ++i) {
+    corpus::ComponentCache::global().clear();
+    const auto start = std::chrono::steady_clock::now();
+    const std::string text = directExtract(scenario, true);
+    disk_us.push_back(usSince(start));
+    if (text != expected) {
+      std::fprintf(stderr, "disk-warm run %d output drifted\n", i);
+      return 1;
+    }
+  }
+  const std::uint64_t disk_hits = disk.hits();
+  disk.configure(corpus::DiskCacheConfig{});
+  if (disk_hits < static_cast<std::uint64_t>(kDiskWarmRuns)) {
+    std::fprintf(stderr, "disk cache served %llu hits, expected >= %d\n",
+                 static_cast<unsigned long long>(disk_hits), kDiskWarmRuns);
+    return 1;
+  }
+
+  // Serve-warm: memoized daemon answers over a real socket round trip.
+  tools::ServeDaemon daemon(tools::ServeOptions{work + "/fsdep.sock"});
+  const Result<bool> started = daemon.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", started.error().message.c_str());
+    return 1;
+  }
+  json::Object request;
+  request["type"] = "extract";
+  request["scenario"] = scenario.id;
+  (void)tools::serveRequest(daemon.socketPath(), request);  // prime the memo
+  std::vector<std::uint64_t> serve_us;
+  for (int i = 0; i < kServeWarmRuns; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const Result<tools::ServeResponse> response =
+        tools::serveRequest(daemon.socketPath(), request);
+    serve_us.push_back(usSince(start));
+    if (!response.ok() || !response.value().ok) {
+      std::fprintf(stderr, "serve request %d failed\n", i);
+      return 1;
+    }
+    if (response.value().stdout_text != expected) {
+      std::fprintf(stderr, "serve run %d output drifted from the one-shot CLI\n", i);
+      return 1;
+    }
+    if (!response.value().cached) {
+      std::fprintf(stderr, "serve run %d was not memoized\n", i);
+      return 1;
+    }
+  }
+  daemon.stop();
+  fs::remove_all(work);
+
+  const Percentiles cold = percentilesOf(cold_us);
+  const Percentiles warm_disk = percentilesOf(disk_us);
+  const Percentiles warm_serve = percentilesOf(serve_us);
+  std::printf("%-12s %10s %10s\n", "path", "p50 (us)", "p95 (us)");
+  std::printf("%-12s %10llu %10llu\n", "cold",
+              static_cast<unsigned long long>(cold.p50),
+              static_cast<unsigned long long>(cold.p95));
+  std::printf("%-12s %10llu %10llu\n", "disk-warm",
+              static_cast<unsigned long long>(warm_disk.p50),
+              static_cast<unsigned long long>(warm_disk.p95));
+  std::printf("%-12s %10llu %10llu\n", "serve-warm",
+              static_cast<unsigned long long>(warm_serve.p50),
+              static_cast<unsigned long long>(warm_serve.p95));
+  const double speedup =
+      warm_serve.p50 > 0 ? static_cast<double>(cold.p50) / warm_serve.p50 : 0.0;
+  std::printf("\nwarm daemon query is %.0fx faster than a cold extraction "
+              "(all paths byte-identical)\n", speedup);
+
+  if (argc > 1) {
+    json::Object doc;
+    doc["bench"] = json::Value(std::string("serve"));
+    doc["scenario"] = json::Value(scenario.id);
+    doc["cold"] = json::Value(samplesToJson(cold_us));
+    doc["disk_warm"] = json::Value(samplesToJson(disk_us));
+    doc["serve_warm"] = json::Value(samplesToJson(serve_us));
+    doc["warm_speedup"] = json::Value(speedup);
+    doc["byte_identical"] = json::Value(true);
+    std::ofstream out(argv[1]);
+    out << json::writePretty(json::Value(std::move(doc))) << "\n";
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

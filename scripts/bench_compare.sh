@@ -7,6 +7,7 @@
 #
 # Usage: scripts/bench_compare.sh [--update-baseline | --against-baseline]
 #                                 [builddir] [pipeline.json] [campaign.json] [scale.json]
+#                                 [serve.json]
 #
 #   --update-baseline   after the run, rewrite bench/baselines/*.json
 #                       from this run's numbers (scripts/bench_ledger.py)
@@ -138,11 +139,37 @@ if serial["unique_outcomes"] == 0:
     sys.exit("campaign produced no outcome classes")
 EOF
 
+# Serve latency: cold extraction vs disk-warm vs warm daemon query.
+# Emits BENCH_serve.json; the warm daemon p50 is gated against
+# FSDEP_SERVE_P50_BUDGET_US (default 1000 us — the "interactive blame
+# tooling" budget from the roadmap). perf_serve itself verifies every
+# path returns byte-identical output and exits nonzero otherwise.
+SERVE_OUT=${5:-"$ROOT/BENCH_serve.json"}
+cmake --build "$BUILD" -j "$(nproc)" --target perf_serve
+"$BUILD/bench/perf_serve" "$SERVE_OUT"
+
+FSDEP_SERVE_P50_BUDGET_US=${FSDEP_SERVE_P50_BUDGET_US:-1000} \
+python3 - "$SERVE_OUT" <<'EOF'
+import json, os, sys
+
+doc = json.load(open(sys.argv[1]))
+warm = doc["serve_warm"]
+cold = doc["cold"]
+print(f"serve: cold p50 {cold['p50_us']} us, warm daemon p50 {warm['p50_us']} us "
+      f"(p95 {warm['p95_us']} us), speedup {doc['warm_speedup']:.0f}x")
+if not doc.get("byte_identical"):
+    sys.exit("serve benchmark reported non-identical output")
+budget = int(os.environ["FSDEP_SERVE_P50_BUDGET_US"])
+if warm["p50_us"] >= budget:
+    sys.exit(f"warm serve p50 {warm['p50_us']} us exceeds the {budget} us budget")
+EOF
+
 # Perf-baseline ledger: record this run (--update-baseline) or gate it
 # against the committed bench/baselines/*.json (--against-baseline).
 # Only machine-independent ratios are gated; absolute ms is printed as
 # an informational delta.
 if [ -n "$LEDGER_MODE" ]; then
   python3 "$ROOT/scripts/bench_ledger.py" "$LEDGER_MODE" \
-    --pipeline "$OUT" --campaign "$CAMPAIGN_OUT" --scale "$SCALE_OUT"
+    --pipeline "$OUT" --campaign "$CAMPAIGN_OUT" --scale "$SCALE_OUT" \
+    --serve "$SERVE_OUT"
 fi

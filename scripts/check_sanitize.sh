@@ -9,7 +9,11 @@
 #      integration tests that drive them, the observability layer (whose trace
 #      buffers and metrics registry are written from every worker), and
 #      the campaign engine (whose determinism guarantee — bit-identical
-#      reports at any --jobs — is exactly a data-race claim).
+#      reports at any --jobs — is exactly a data-race claim), the
+#      failure-eviction and clear()-during-build paths of the component
+#      cache, the on-disk result cache (atomic stores + LRU eviction
+#      against concurrent loads), and the serve daemon (per-connection
+#      threads against the shared memo and shutdown).
 # Usage: scripts/check_sanitize.sh [builddir-prefix]
 set -eu
 
@@ -28,7 +32,7 @@ cmake --build "$PREFIX-tsan" -j "$JOBS" \
   --target thread_pool_test component_cache_test pipeline_determinism_test \
            summary_equivalence_test amplify_test \
            pipeline_test corpus_test obs_test obs_pipeline_test campaign_test \
-           profile_test cli_obs_amplify_test
+           profile_test cli_obs_amplify_test disk_cache_test serve_test
 # Force multi-threaded execution even on single-core machines so TSan
 # actually sees cross-thread interleavings. cli_obs_amplify_test drives
 # a TSan-instrumented fsdep binary over the amplified corpus with
@@ -37,7 +41,7 @@ cmake --build "$PREFIX-tsan" -j "$JOBS" \
 for t in thread_pool_test component_cache_test pipeline_determinism_test \
          summary_equivalence_test amplify_test \
          pipeline_test corpus_test obs_test obs_pipeline_test campaign_test \
-         profile_test cli_obs_amplify_test; do
+         profile_test cli_obs_amplify_test disk_cache_test serve_test; do
   echo "-- $t (FSDEP_JOBS=4)"
   FSDEP_JOBS=4 "$PREFIX-tsan/tests/$t"
 done

@@ -47,6 +47,7 @@
 #include "tools/campaign.h"
 #include "tools/crashck.h"
 #include "tools/depgraph.h"
+#include "tools/serve.h"
 
 namespace {
 
@@ -76,6 +77,11 @@ int usage() {
       "  --log LEVEL     stderr log level: debug|info|warn|error|off\n"
       "                  (default: FSDEP_LOG env var, else warn;\n"
       "                  FSDEP_LOG_FORMAT=json switches to JSON lines)\n"
+      "  --cache-dir DIR persist analysis results in an on-disk cache under\n"
+      "                  DIR; unchanged inputs skip parse+analysis entirely\n"
+      "                  (default: FSDEP_CACHE_DIR env var, else disabled)\n"
+      "  --no-cache      disable both the on-disk cache and in-process\n"
+      "                  component reuse (every run parses fresh)\n"
       "\n"
       "commands:\n"
       "  extract    run the static analyzer over the corpus and print the\n"
@@ -137,6 +143,21 @@ int usage() {
       "             attribution to stdout (default wrapped command: table5)\n"
       "               fsdep profile [--format text|json|folded] [--out FILE]\n"
       "                             [<command> [args...]]\n"
+      "  serve      long-running analysis daemon on a local Unix socket;\n"
+      "             answers newline-delimited JSON queries (see docs/serve.md)\n"
+      "               --socket PATH  socket path (default: FSDEP_SOCKET env\n"
+      "                              var, else /tmp/fsdep.sock)\n"
+      "  query      send one request to a running `fsdep serve` daemon and\n"
+      "             print its stdout (byte-identical to the one-shot command)\n"
+      "               --socket PATH   daemon socket (default as in serve)\n"
+      "               --type T        ping|extract|depgraph|docck|blame|stats|\n"
+      "                               invalidate|shutdown (default: extract)\n"
+      "               --scenario s1..s4 / --inter / --intra / --no-bridging /\n"
+      "               --json          forwarded to extract queries\n"
+      "               --param P       parameter for blame queries\n"
+      "               --self-deps     include SD nodes in depgraph queries\n"
+      "               --timing        print cached/wall_us to stderr\n"
+      "               --raw JSON      send a raw request line instead\n"
       "  xfs        run the analyzer over the XFS mini-ecosystem (paper SS6)\n"
       "  bugs       list the 67-case bug study dataset (--json for JSON)\n"
       "  explain    show everything known about one parameter\n"
@@ -666,39 +687,93 @@ int cmdAmplify(const std::vector<std::string>& args) {
     return std::chrono::duration<double, std::milli>(to - from).count();
   };
 
-  const auto t0 = Clock::now();
-  const std::vector<std::string> names = [&] {
-    obs::Span span("amplify", "generate");
-    return corpus::amplifyCorpus(aopts);
-  }();
-  const auto t1 = Clock::now();
-
-  std::vector<std::unique_ptr<corpus::AnalyzedComponent>> components(names.size());
-  {
-    obs::Span span("amplify", "analyze");
-    ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
-      obs::Span component_span("pipeline", "analyze");
-      component_span.arg("component", names[i]);
-      auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
-      component->analyze({});
-      components[i] = std::move(component);
-    });
+  // The whole amplify run is one disk-cache entry keyed by its inputs
+  // (the generator is deterministic in factor x seed, so component
+  // sources need no digesting — they don't exist before generation).
+  // The payload carries every analysis-derived number the output needs,
+  // so a warm run skips generate+parse+analyze+extract entirely.
+  corpus::DiskCache& disk = corpus::DiskCache::global();
+  corpus::CacheKey cache_key;
+  if (disk.enabled()) {
+    cache_key.mix("amplify-request");
+    cache_key.mix(static_cast<std::uint64_t>(aopts.factor));
+    cache_key.mix(aopts.seed);
+    corpus::mixOptions(cache_key, topts);
+    corpus::mixOptions(cache_key, corpus::amplifiedExtractOptions());
   }
-  const auto t2 = Clock::now();
 
+  std::size_t component_count = 0;
   std::size_t functions = 0;
   std::size_t write_events = 0;
-  std::vector<extract::ComponentRun> runs;
-  runs.reserve(components.size());
-  for (const auto& component : components) {
-    functions += component->analyzer().results().size();
-    write_events += component->analyzer().writeEvents().size();
-    runs.push_back(component->asRun());
+  std::vector<model::Dependency> deps;
+  bool from_cache = false;
+  if (disk.enabled()) {
+    if (const std::optional<std::string> payload = disk.load(cache_key)) {
+      const Result<json::Value> parsed = json::parse(*payload);
+      if (parsed.ok() && parsed.value().isObject()) {
+        const json::Object& object = parsed.value().asObject();
+        const json::Value* cached_deps = object.find("deps");
+        Result<std::vector<model::Dependency>> decoded =
+            cached_deps != nullptr ? model::dependenciesFromJson(*cached_deps)
+                                   : Result<std::vector<model::Dependency>>(
+                                         makeError("missing deps"));
+        if (decoded.ok() && object.contains("components") && object.contains("functions") &&
+            object.contains("write_events")) {
+          component_count = static_cast<std::size_t>(object.find("components")->asInt());
+          functions = static_cast<std::size_t>(object.find("functions")->asInt());
+          write_events = static_cast<std::size_t>(object.find("write_events")->asInt());
+          deps = std::move(decoded).take();
+          from_cache = true;
+        }
+      }
+    }
   }
-  const std::vector<model::Dependency> deps = [&] {
-    obs::Span span("amplify", "extract");
-    return extract::extractDependencies(runs, corpus::amplifiedExtractOptions());
-  }();
+
+  const auto t0 = Clock::now();
+  auto t1 = t0;
+  auto t2 = t0;
+  if (!from_cache) {
+    const std::vector<std::string> names = [&] {
+      obs::Span span("amplify", "generate");
+      return corpus::amplifyCorpus(aopts);
+    }();
+    t1 = Clock::now();
+
+    std::vector<std::unique_ptr<corpus::AnalyzedComponent>> components(names.size());
+    {
+      obs::Span span("amplify", "analyze");
+      ThreadPool::parallelFor(names.size(), 0, [&](std::size_t i) {
+        obs::Span component_span("pipeline", "analyze");
+        component_span.arg("component", names[i]);
+        auto component = std::make_unique<corpus::AnalyzedComponent>(names[i], topts);
+        component->analyze({});
+        components[i] = std::move(component);
+      });
+    }
+    t2 = Clock::now();
+
+    component_count = names.size();
+    std::vector<extract::ComponentRun> runs;
+    runs.reserve(components.size());
+    for (const auto& component : components) {
+      functions += component->analyzer().results().size();
+      write_events += component->analyzer().writeEvents().size();
+      runs.push_back(component->asRun());
+    }
+    deps = [&] {
+      obs::Span span("amplify", "extract");
+      return extract::extractDependencies(runs, corpus::amplifiedExtractOptions());
+    }();
+
+    if (disk.enabled()) {
+      json::Object payload;
+      payload["components"] = static_cast<std::uint64_t>(component_count);
+      payload["functions"] = static_cast<std::uint64_t>(functions);
+      payload["write_events"] = static_cast<std::uint64_t>(write_events);
+      payload["deps"] = model::toJson(deps);
+      disk.store(cache_key, json::writeCompact(json::Value(std::move(payload))));
+    }
+  }
   const auto t3 = Clock::now();
 
   const double generate_ms = millisSince(t0, t1);
@@ -712,7 +787,8 @@ int cmdAmplify(const std::vector<std::string>& args) {
 
   {
     obs::RunReport& report = obs::RunReport::global();
-    report.note("amplify_components", names.size());
+    report.note("amplify_components", component_count);
+    report.note("amplify_cached", static_cast<std::uint64_t>(from_cache));
     report.note("amplify_functions", functions);
     report.note("amplify_write_events", write_events);
     report.note("amplify_deps", deps.size());
@@ -724,7 +800,7 @@ int cmdAmplify(const std::vector<std::string>& args) {
     root["factor"] = static_cast<std::uint64_t>(aopts.factor);
     root["seed"] = aopts.seed;
     root["engine"] = engine;
-    root["components"] = static_cast<std::uint64_t>(names.size());
+    root["components"] = static_cast<std::uint64_t>(component_count);
     root["functions"] = static_cast<std::uint64_t>(functions);
     root["write_events"] = static_cast<std::uint64_t>(write_events);
     root["dependencies"] = static_cast<std::uint64_t>(deps.size());
@@ -739,7 +815,7 @@ int cmdAmplify(const std::vector<std::string>& args) {
     std::printf("amplified corpus: factor %llu, seed %llu, engine %s\n",
                 static_cast<unsigned long long>(aopts.factor),
                 static_cast<unsigned long long>(aopts.seed), engine);
-    std::printf("  components:   %zu\n", names.size());
+    std::printf("  components:   %zu\n", component_count);
     std::printf("  functions:    %zu\n", functions);
     std::printf("  write events: %zu\n", write_events);
     std::printf("  dependencies: %zu\n", deps.size());
@@ -754,9 +830,85 @@ int cmdAmplify(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmdServe(const std::vector<std::string>& args) {
+  tools::ServeOptions options;
+  options.socket_path = flagValue(args, "--socket", tools::defaultSocketPath());
+  tools::ServeDaemon daemon(options);
+  const Result<bool> started = daemon.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.error().message.c_str());
+    return 1;
+  }
+  std::printf("fsdep serve: listening on %s (send {\"type\":\"shutdown\"} to stop)\n",
+              daemon.socketPath().c_str());
+  std::fflush(stdout);
+  daemon.wait();
+  daemon.stop();
+  std::printf("fsdep serve: shut down after %llu request(s)\n",
+              static_cast<unsigned long long>(daemon.requestsServed()));
+  return 0;
+}
+
+int cmdQuery(const std::vector<std::string>& args) {
+  const std::string socket = flagValue(args, "--socket", tools::defaultSocketPath());
+
+  const std::string raw = flagValue(args, "--raw", "");
+  if (!raw.empty()) {
+    const Result<std::string> response = tools::serveRoundTrip(socket, raw);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.error().message.c_str());
+      return 1;
+    }
+    std::printf("%s\n", response.value().c_str());
+    return 0;
+  }
+
+  json::Object request;
+  request["id"] = "cli";
+  request["type"] = flagValue(args, "--type", "extract");
+  const std::string scenario = flagValue(args, "--scenario", "");
+  if (!scenario.empty()) request["scenario"] = scenario;
+  const std::string param = flagValue(args, "--param", "");
+  if (!param.empty()) request["param"] = param;
+  if (hasFlag(args, "--inter")) request["inter"] = true;
+  if (hasFlag(args, "--intra")) request["intra"] = true;
+  if (hasFlag(args, "--legacy-passes")) request["legacy_passes"] = true;
+  if (hasFlag(args, "--no-bridging")) request["no_bridging"] = true;
+  if (hasFlag(args, "--json")) request["json"] = true;
+  if (hasFlag(args, "--self-deps")) request["self_deps"] = true;
+
+  const Result<tools::ServeResponse> result = tools::serveRequest(socket, request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 1;
+  }
+  const tools::ServeResponse& response = result.value();
+  if (!response.ok) {
+    std::fprintf(stderr, "fsdep query: %s\n", response.error.c_str());
+    return 1;
+  }
+  // Analysis responses already end in '\n' (they are the one-shot
+  // command's stdout, printed verbatim); only bare strings like "pong"
+  // get one appended.
+  std::fputs(response.stdout_text.c_str(), stdout);
+  if (!response.stdout_text.empty() && response.stdout_text.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  if (hasFlag(args, "--timing")) {
+    std::fprintf(stderr, "query: %s in %llu us\n",
+                 response.cached ? "cached" : "computed",
+                 static_cast<unsigned long long>(response.wall_us));
+  }
+  obs::RunReport::global().note("query_cached", static_cast<std::uint64_t>(response.cached));
+  obs::RunReport::global().note("query_wall_us", response.wall_us);
+  return 0;
+}
+
 /// Dispatches one command (global flags already stripped from `args`).
 int runCommand(const std::string& command, const std::vector<std::string>& args) {
   if (command == "extract") return cmdExtract(args);
+  if (command == "serve") return cmdServe(args);
+  if (command == "query") return cmdQuery(args);
   if (command == "amplify") return cmdAmplify(args);
   if (command == "table2") {
     std::fputs(study::formatTable2(study::runCoverageStudy()).c_str(), stdout);
@@ -1023,7 +1175,21 @@ int main(int argc, char** argv) {
     }
   } stats_printer;
   ObsSession obs;
+  const char* env_cache_dir = std::getenv("FSDEP_CACHE_DIR");
+  std::string cache_dir = env_cache_dir != nullptr ? env_cache_dir : "";
+  bool no_cache = false;
   for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--no-cache") {
+      no_cache = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (args[i] == "--cache-dir" && i + 1 < args.size()) {
+      cache_dir = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     if (args[i] == "--stats") {
       stats_printer.enabled = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
@@ -1082,6 +1248,18 @@ int main(int argc, char** argv) {
       continue;
     }
     ++i;
+  }
+
+  // Cache wiring: --no-cache beats --cache-dir/FSDEP_CACHE_DIR and also
+  // turns off in-process component reuse; otherwise a configured
+  // directory enables the persistent result cache for every command.
+  if (no_cache) {
+    corpus::ComponentCache::global().setEnabled(false);
+    cache_dir.clear();
+  }
+  if (!cache_dir.empty()) {
+    corpus::DiskCache::global().configure({cache_dir});
+    FSDEP_LOG_INFO("cli", "disk cache at %s", cache_dir.c_str());
   }
 
   // `fsdep profile [--format F] [--out FILE] [<command> [args...]]` is

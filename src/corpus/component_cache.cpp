@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "ast/parser.h"
 #include "corpus/corpus.h"
@@ -60,31 +61,51 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
   static obs::Counter& hit_counter = obs::Registry::global().counter("cache.hits");
   static obs::Counter& miss_counter = obs::Registry::global().counter("cache.misses");
   static obs::Counter& wait_counter = obs::Registry::global().counter("cache.waits");
+  static obs::Counter& failure_counter =
+      obs::Registry::global().counter("cache.build_failures");
 
   std::shared_future<std::shared_ptr<const ComponentEntry>> future;
   std::promise<std::shared_ptr<const ComponentEntry>> promise;
   bool is_builder = false;
+  bool is_hit = false;
+  std::uint64_t ticket = 0;
+  Builder builder;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    const bool enabled = enabled_.load(std::memory_order_relaxed);
     const auto it = slots_.find(name);
-    if (it != slots_.end() && it->second.options == options) {
+    if (enabled && it != slots_.end() && it->second.options == options) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      hit_counter.add();
-      // The per-component series costs a registry lookup, but we are
-      // already under the cache mutex — hit/miss attribution per
-      // component is what the profile's cache rows are built from.
-      obs::Registry::global().counter("cache.hits", {{"component", name}}).add();
+      is_hit = true;
       future = it->second.future;
     } else {
-      // First request, or an options mismatch: (re)build. Prior waiters
-      // keep their shared_future; this slot now serves the new options.
+      // First request, options mismatch, or caching disabled: (re)build.
+      // Prior waiters keep their shared_future; this slot now serves
+      // the new build. The ticket identifies it so failure eviction and
+      // clear() can't remove someone else's slot. With caching disabled
+      // the build stays private — existing entries are left untouched
+      // for when the cache is re-enabled (ticket 0 never matches a
+      // slot, so the failure path leaves the map alone too).
       misses_.fetch_add(1, std::memory_order_relaxed);
-      miss_counter.add();
-      obs::Registry::global().counter("cache.misses", {{"component", name}}).add();
       future = promise.get_future().share();
-      slots_[name] = Slot{options, future};
+      if (enabled) {
+        ticket = next_ticket_++;
+        slots_[name] = Slot{options, future, ticket};
+      }
       is_builder = true;
+      builder = builder_override_;
     }
+  }
+
+  // Registry lookups for the per-component labeled series walk the
+  // registry's own lock-path; do them after mu_ is released so a serve
+  // daemon's hot hit path never serializes cache traffic on them.
+  if (is_hit) {
+    hit_counter.add();
+    obs::Registry::global().counter("cache.hits", {{"component", name}}).add();
+  } else {
+    miss_counter.add();
+    obs::Registry::global().counter("cache.misses", {{"component", name}}).add();
   }
 
   if (built != nullptr) *built = is_builder;
@@ -95,8 +116,22 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
       obs::Trace::instant("cache", "cache-miss", std::move(args));
     }
     try {
-      promise.set_value(build(name, options));
+      promise.set_value(builder ? builder(name, options) : build(name, options));
     } catch (...) {
+      // A failed build must not poison the slot: waiters that already
+      // hold the shared_future see this exception once, but the slot is
+      // evicted so the next get() retries. Only evict our own ticket —
+      // clear() or a replacement build may have raced us.
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto slot = slots_.find(name);
+        if (slot != slots_.end() && slot->second.ticket == ticket) {
+          slots_.erase(slot);
+        }
+      }
+      build_failures_.fetch_add(1, std::memory_order_relaxed);
+      failure_counter.add();
+      obs::Registry::global().counter("cache.build_failures", {{"component", name}}).add();
       promise.set_exception(std::current_exception());
     }
   } else if (obs::Trace::enabled()) {
@@ -113,7 +148,7 @@ std::shared_ptr<const ComponentEntry> ComponentCache::get(
     wait_span.arg("component", name);
     return future.get();
   }
-  return future.get();  // rethrows the builder's exception for every waiter
+  return future.get();  // waiters see a failed build's exception once
 }
 
 std::size_t ComponentCache::size() const {
@@ -123,7 +158,15 @@ std::size_t ComponentCache::size() const {
 
 void ComponentCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
+  // In-flight builders keep their promise/shared_future alive
+  // independently of the map; dropping their slots here just means a
+  // failure eviction later finds no matching ticket and does nothing.
   slots_.clear();
+}
+
+void ComponentCache::setBuilderForTesting(Builder builder) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  builder_override_ = std::move(builder);
 }
 
 ComponentCache& ComponentCache::global() {

@@ -11,10 +11,19 @@
 // AnalysisOptions they were built under — a request with different
 // options invalidates the entry and rebuilds, so ablation runs never
 // accidentally share state with default-option runs.
+//
+// Failure semantics: a builder failure is NOT cached. The failing slot
+// is evicted as the builder publishes the exception, so requesters that
+// were already waiting see the error once and the next request retries
+// the build (a transient failure — OOM, a fault-injected source
+// provider — must not poison the component forever). Slots are
+// ticketed, so an evict-on-failure races neither clear() nor a
+// replacement build that claimed the slot in the meantime.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -50,8 +59,10 @@ class ComponentCache {
   /// Returns the shared entry for `name`, parsing it first if this is
   /// the first request (or the cached entry was built under different
   /// AnalysisOptions). Throws std::runtime_error for unknown components
-  /// or corpus frontend bugs. `built` (optional) is set to true when
-  /// this call did the parse, false when it reused or waited on one.
+  /// or corpus frontend bugs; the failed slot is evicted so a later
+  /// call retries instead of rethrowing a stale error forever. `built`
+  /// (optional) is set to true when this call did the parse, false when
+  /// it reused or waited on one.
   std::shared_ptr<const ComponentEntry> get(const std::string& name,
                                             const taint::AnalysisOptions& options,
                                             bool* built = nullptr);
@@ -62,14 +73,35 @@ class ComponentCache {
                                                      const taint::AnalysisOptions& options);
 
   /// Per-instance cache traffic. get() also mirrors these into the obs
-  /// metrics registry ("cache.hits"/"cache.misses"/"cache.waits"), so
-  /// --metrics and --report see the same numbers --stats prints.
+  /// metrics registry ("cache.hits"/"cache.misses"/"cache.waits"/
+  /// "cache.build_failures"), so --metrics and --report see the same
+  /// numbers --stats prints.
   [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Builds that threw (and evicted their slot for retry).
+  [[nodiscard]] std::uint64_t buildFailures() const {
+    return build_failures_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t size() const;
 
-  /// Drops every entry (outstanding shared_ptrs stay valid).
+  /// Drops every entry (outstanding shared_ptrs stay valid). Safe while
+  /// builds are in flight: an in-flight builder publishes its result to
+  /// the waiters it already has, notices its ticket no longer matches
+  /// any slot, and leaves the post-clear() map alone.
   void clear();
+
+  /// When disabled, get() builds fresh on every call (counted as a
+  /// miss) — the CLI's --no-cache behavior. Entries already cached are
+  /// kept but not consulted until re-enabled.
+  void setEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  [[nodiscard]] bool isEnabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Test hook: replaces build() for this instance (e.g. a transient-
+  /// failure source). Pass nullptr to restore the real builder. Not for
+  /// production use.
+  using Builder = std::function<std::shared_ptr<const ComponentEntry>(
+      const std::string&, const taint::AnalysisOptions&)>;
+  void setBuilderForTesting(Builder builder);
 
   /// Process-wide cache used by AnalyzedComponent and the pipeline.
   static ComponentCache& global();
@@ -78,12 +110,21 @@ class ComponentCache {
   struct Slot {
     taint::AnalysisOptions options;
     std::shared_future<std::shared_ptr<const ComponentEntry>> future;
+    /// Monotonic id of the build occupying this slot. The builder
+    /// carries its ticket; eviction (on failure) only removes the slot
+    /// when the ticket still matches, so a concurrent clear() +
+    /// replacement build is never clobbered.
+    std::uint64_t ticket = 0;
   };
 
   mutable std::mutex mu_;
   std::map<std::string, Slot> slots_;
+  std::uint64_t next_ticket_ = 1;
+  Builder builder_override_;
+  std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> build_failures_{0};
 };
 
 }  // namespace fsdep::corpus

@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
+#include "json/json.h"
+#include "model/serialization.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/strings.h"
@@ -31,7 +35,44 @@ std::size_t resolveJobs(const PipelineOptions& pipeline) {
   return pipeline.jobs == 0 ? ThreadPool::globalJobs() : pipeline.jobs;
 }
 
+// Disk-cache payloads are the scenario's dependency vector in the same
+// JSON the CLI's --format=json emits (model::toJson), so the cache
+// round-trips exactly the observable result. Dependency::evidence (a
+// SourceRange) is not serialized — it is write-only downstream (never
+// printed, scored, or exported), so a decoded vector is observationally
+// identical to a freshly extracted one.
+std::string encodeScenarioPayload(const std::vector<model::Dependency>& deps) {
+  return json::writeCompact(model::toJson(deps));
+}
+
+std::optional<std::vector<model::Dependency>> decodeScenarioPayload(
+    const std::string& payload) {
+  Result<json::Value> parsed = json::parse(payload);
+  if (!parsed.ok()) return std::nullopt;
+  Result<std::vector<model::Dependency>> deps = model::dependenciesFromJson(parsed.value());
+  if (!deps.ok()) return std::nullopt;
+  return std::move(deps).take();
+}
+
 }  // namespace
+
+CacheKey scenarioCacheKey(const Scenario& scenario,
+                          const taint::AnalysisOptions& taint_options,
+                          const extract::ExtractOptions& extract_options) {
+  CacheKey key;
+  key.mix("scenario-result");
+  key.mix(scenario.id);
+  key.mix(static_cast<std::uint64_t>(scenario.selection.size()));
+  for (const auto& [component, functions] : scenario.selection) {
+    key.mix(component);
+    key.mix(contentDigest(componentSource(component)));
+    key.mix(static_cast<std::uint64_t>(functions.size()));
+    for (const std::string& fn : functions) key.mix(fn);
+  }
+  mixOptions(key, taint_options);
+  mixOptions(key, extract_options);
+  return key;
+}
 
 AnalyzedComponent::AnalyzedComponent(std::string name,
                                      const taint::AnalysisOptions& taint_options,
@@ -140,10 +181,33 @@ std::vector<model::Dependency> runScenario(const Scenario& scenario,
   obs::Span span("pipeline", "scenario");
   span.arg("scenario", scenario.id);
   reg().gauge("pipeline.jobs").set(resolveJobs(pipeline));
-  const auto components = analyzeScenarioComponents(scenario, taint_options, pipeline);
   const extract::ExtractOptions options =
       extract_override != nullptr ? *extract_override : extractOptions();
-  return extractFrom(components, options, scenario.id);
+
+  // Warm path: an unchanged scenario loads its result straight from the
+  // on-disk cache — no parse, sema, taint or extraction at all. A
+  // corrupt or undecodable payload degrades to a recompute (and the
+  // store below overwrites the bad entry).
+  DiskCache& disk = DiskCache::global();
+  const bool disk_enabled = pipeline.use_disk_cache && disk.enabled();
+  CacheKey key;
+  if (disk_enabled) {
+    key = scenarioCacheKey(scenario, taint_options, options);
+    if (std::optional<std::string> payload = disk.load(key)) {
+      if (std::optional<std::vector<model::Dependency>> deps =
+              decodeScenarioPayload(*payload)) {
+        span.arg("disk_cache", "hit");
+        return *std::move(deps);
+      }
+      FSDEP_LOG_WARN("cache", "disk cache: undecodable payload for scenario %s; recomputing",
+                     scenario.id.c_str());
+    }
+  }
+
+  const auto components = analyzeScenarioComponents(scenario, taint_options, pipeline);
+  std::vector<model::Dependency> deps = extractFrom(components, options, scenario.id);
+  if (disk_enabled) disk.store(key, encodeScenarioPayload(deps));
+  return deps;
 }
 
 Table5Result runTable5(const taint::AnalysisOptions& taint_options,
@@ -161,6 +225,22 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
   // worker races their first construction.
   (void)groundTruth();
 
+  // Per-scenario disk-cache probe: a scenario whose result loads from
+  // disk contributes no (scenario x component) pairs at all — its
+  // parse/analyze/extract cost is skipped entirely.
+  DiskCache& disk = DiskCache::global();
+  const bool disk_enabled = pipeline.use_disk_cache && disk.enabled();
+  std::vector<CacheKey> keys(scenario_list.size());
+  std::vector<std::optional<std::vector<model::Dependency>>> cached(scenario_list.size());
+  if (disk_enabled) {
+    for (std::size_t s = 0; s < scenario_list.size(); ++s) {
+      keys[s] = scenarioCacheKey(scenario_list[s], taint_options, options);
+      if (std::optional<std::string> payload = disk.load(keys[s])) {
+        cached[s] = decodeScenarioPayload(*payload);
+      }
+    }
+  }
+
   // Flatten the scenario x component matrix: every pair is independent,
   // so all of them can run concurrently — not just the components within
   // one scenario.
@@ -173,6 +253,7 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
   std::vector<Pair> pairs;
   std::vector<std::vector<std::unique_ptr<AnalyzedComponent>>> analyzed(scenario_list.size());
   for (std::size_t s = 0; s < scenario_list.size(); ++s) {
+    if (cached[s].has_value()) continue;
     analyzed[s].resize(scenario_list[s].selection.size());
     std::size_t slot = 0;
     for (const auto& [component, functions] : scenario_list[s].selection) {
@@ -199,7 +280,12 @@ Table5Result runTable5(const taint::AnalysisOptions& taint_options,
     ScenarioResult sr;
     sr.id = scenario_list[s].id;
     sr.title = scenario_list[s].title;
-    sr.deps = extractFrom(analyzed[s], options, sr.id);
+    if (cached[s].has_value()) {
+      sr.deps = *std::move(cached[s]);
+    } else {
+      sr.deps = extractFrom(analyzed[s], options, sr.id);
+      if (disk_enabled) disk.store(keys[s], encodeScenarioPayload(sr.deps));
+    }
     sr.score = extract::scoreScenario(sr.id, sr.deps, groundTruth());
     result.per_scenario[s] = std::move(sr);
   });

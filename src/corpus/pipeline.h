@@ -17,6 +17,7 @@
 #include "ast/ast.h"
 #include "corpus/component_cache.h"
 #include "corpus/corpus.h"
+#include "corpus/disk_cache.h"
 #include "extract/extractor.h"
 #include "extract/scoring.h"
 #include "sema/sema.h"
@@ -81,7 +82,21 @@ struct PipelineOptions {
   /// When false, every component is parsed fresh instead of via the
   /// ComponentCache — the seed pipeline's behavior (benchmark baseline).
   bool use_cache = true;
+  /// When false, the on-disk result cache is bypassed even if
+  /// DiskCache::global() is configured (the CLI's --no-cache). When
+  /// true, scenario results whose inputs (component sources, function
+  /// selections, analysis/extract options) are unchanged load from disk
+  /// and skip parse+sema+taint+extract entirely.
+  bool use_disk_cache = true;
 };
+
+/// Content-hashed identity of one scenario run: scenario id, every
+/// selected component's source digest + function selection, the full
+/// AnalysisOptions and ExtractOptions fingerprints, and the cache schema
+/// version. Any input change produces a different key (= a miss).
+CacheKey scenarioCacheKey(const Scenario& scenario,
+                          const taint::AnalysisOptions& taint_options,
+                          const extract::ExtractOptions& extract_options);
 
 /// Cumulative perf counters of every pipeline run in this process
 /// (parse/analyze/extract wall time, fixpoint merges, cache traffic).

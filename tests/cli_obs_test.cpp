@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -211,6 +212,63 @@ TEST(CliObs, ProfileSubcommandWrapsAnyCommand) {
   ASSERT_NE(deps_pos, std::string::npos) << out;
   ASSERT_NE(prof_pos, std::string::npos) << out;
   EXPECT_LT(deps_pos, prof_pos);
+}
+
+TEST(CliObs, CacheAttributionSurvivesHoistedLabeledCounters) {
+  // The per-component labeled cache counters moved out of the cache
+  // mutex (serve hot-path fix); the attribution itself must not change:
+  // the labeled per-component series still sum to the unlabeled totals.
+  const std::string metrics = tempPath("cli_obs_cache_attr_metrics.json");
+  runCli("table5 --jobs 4 --metrics " + metrics);
+  const json::Value doc = parseOrFail(slurp(metrics), "metrics file");
+
+  std::uint64_t total_hits = 0;
+  std::uint64_t total_misses = 0;
+  std::uint64_t labeled_hits = 0;
+  std::uint64_t labeled_misses = 0;
+  std::set<std::string> miss_components;
+  for (const json::Value& c : doc.asObject().find("counters")->asArray()) {
+    const json::Object& counter = c.asObject();
+    const std::string& name = counter.find("name")->asString();
+    if (name != "cache.hits" && name != "cache.misses") continue;
+    const json::Object& labels = counter.find("labels")->asObject();
+    const std::uint64_t value =
+        static_cast<std::uint64_t>(counter.find("value")->asInt());
+    if (labels.empty()) {
+      (name == "cache.hits" ? total_hits : total_misses) += value;
+    } else {
+      ASSERT_TRUE(labels.contains("component")) << name;
+      (name == "cache.hits" ? labeled_hits : labeled_misses) += value;
+      if (name == "cache.misses") miss_components.insert(labels.find("component")->asString());
+    }
+  }
+  EXPECT_EQ(labeled_hits, total_hits) << "per-component hit attribution drifted";
+  EXPECT_EQ(labeled_misses, total_misses) << "per-component miss attribution drifted";
+  EXPECT_GE(miss_components.size(), 2u) << "table5 parses several components";
+  EXPECT_GT(total_hits + total_misses, 0u);
+}
+
+TEST(CliObs, DiskCacheCountersAppearInMetricsAndStdoutStaysIdentical) {
+  const std::string cache_dir = tempPath("cli_obs_disk_cache_dir");
+  const std::string metrics = tempPath("cli_obs_disk_cache_metrics.json");
+  std::system(("rm -rf " + cache_dir).c_str());
+  const std::string baseline = runCli("extract --scenario s2");
+  const std::string cold = runCli("extract --scenario s2 --cache-dir " + cache_dir);
+  const std::string warm =
+      runCli("extract --scenario s2 --cache-dir " + cache_dir + " --metrics " + metrics);
+  EXPECT_EQ(baseline, cold) << "cold cached stdout must match the uncached run";
+  EXPECT_EQ(baseline, warm) << "warm cached stdout must match the uncached run";
+
+  const json::Value doc = parseOrFail(slurp(metrics), "metrics file");
+  std::uint64_t disk_hits = 0;
+  for (const json::Value& c : doc.asObject().find("counters")->asArray()) {
+    const json::Object& counter = c.asObject();
+    if (counter.find("name")->asString() == "cache.disk.hits") {
+      disk_hits += static_cast<std::uint64_t>(counter.find("value")->asInt());
+    }
+  }
+  EXPECT_GT(disk_hits, 0u) << "warm run must hit the disk cache";
+  std::system(("rm -rf " + cache_dir).c_str());
 }
 
 TEST(CliObs, LogFlagControlsStderr) {

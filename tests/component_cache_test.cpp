@@ -1,9 +1,14 @@
 // ComponentCache behavior: parse-once semantics, concurrent first
-// access, AnalysisOptions-keyed invalidation, error propagation.
+// access, AnalysisOptions-keyed invalidation, error propagation —
+// including the failure-poisoning regression (a failed build must be
+// retried, not cached forever) and clear()-during-build safety.
 #include "corpus/component_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -79,13 +84,137 @@ TEST(ComponentCache, DifferentOptionsInvalidateTheEntry) {
   EXPECT_EQ(a->name, "mount");
 }
 
-TEST(ComponentCache, UnknownComponentThrowsForEveryRequester) {
+TEST(ComponentCache, UnknownComponentFailureIsNeverCached) {
   ComponentCache cache;
   const taint::AnalysisOptions options;
   EXPECT_THROW(cache.get("no-such-component", options), std::runtime_error);
-  // The failure is cached in the slot's future; later requesters see the
-  // same error (and a hit, not a re-parse attempt).
+  EXPECT_EQ(cache.buildFailures(), 1u);
+  EXPECT_EQ(cache.size(), 0u) << "the failed slot must be evicted";
+  // The next request must retry the build (another miss + failure), not
+  // rethrow a poisoned future as a hit.
   EXPECT_THROW(cache.get("no-such-component", options), std::runtime_error);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.buildFailures(), 2u);
+}
+
+// The headline regression: a transient builder failure (fault-injected
+// source, OOM, ...) used to poison the slot — every later get() for the
+// same (name, options) rethrew the first exception forever. This test
+// fails on the old ComponentCache and passes with failure eviction.
+TEST(ComponentCache, TransientBuilderFailureRetriesAndSucceeds) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  std::atomic<int> calls{0};
+  cache.setBuilderForTesting(
+      [&calls](const std::string& name, const taint::AnalysisOptions& opts) {
+        if (calls.fetch_add(1) == 0) throw std::runtime_error("transient source failure");
+        return ComponentCache::build(name, opts);
+      });
+
+  EXPECT_THROW(cache.get("mke2fs", options), std::runtime_error);
+  EXPECT_EQ(cache.buildFailures(), 1u);
+
+  const auto entry = cache.get("mke2fs", options);
+  ASSERT_NE(entry, nullptr) << "second request must retry, not rethrow the cached failure";
+  EXPECT_EQ(entry->name, "mke2fs");
+  EXPECT_EQ(calls.load(), 2);
+
+  const auto again = cache.get("mke2fs", options);
+  EXPECT_EQ(entry.get(), again.get()) << "the successful retry is cached normally";
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// N threads pile onto a build that fails: everyone already waiting sees
+// the exception exactly once, latecomers retry, and a final request
+// succeeds. Run under TSan via check_sanitize.sh.
+TEST(ComponentCache, WaitersDuringFailedBuildSeeErrorThenRetrySucceeds) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  std::atomic<int> calls{0};
+  std::promise<void> release_promise;
+  std::shared_future<void> release = release_promise.get_future().share();
+  cache.setBuilderForTesting(
+      [&](const std::string& name, const taint::AnalysisOptions& opts) {
+        if (calls.fetch_add(1) == 0) {
+          release.wait();  // hold the waiters on the shared_future
+          throw std::runtime_error("transient source failure");
+        }
+        return ComponentCache::build(name, opts);
+      });
+
+  constexpr int kThreads = 8;
+  std::atomic<int> errors{0};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        if (cache.get("mount", options) != nullptr) successes.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_promise.set_value();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_GE(errors.load(), 1) << "at least the failing builder's own request errors";
+  EXPECT_EQ(errors.load() + successes.load(), kThreads);
+  EXPECT_EQ(cache.buildFailures(), 1u);
+
+  const auto entry = cache.get("mount", options);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "mount");
+}
+
+TEST(ComponentCache, ClearDuringInFlightBuildIsSafe) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  std::promise<void> started_promise;
+  std::promise<void> release_promise;
+  std::shared_future<void> release = release_promise.get_future().share();
+  cache.setBuilderForTesting(
+      [&](const std::string& name, const taint::AnalysisOptions& opts) {
+        started_promise.set_value();
+        release.wait();
+        return ComponentCache::build(name, opts);
+      });
+
+  std::thread builder([&] {
+    const auto entry = cache.get("ext4", options);
+    EXPECT_NE(entry, nullptr) << "the in-flight build still completes for its waiters";
+  });
+  started_promise.get_future().wait();
+  cache.clear();  // drops the slot while the builder is running
+  release_promise.set_value();
+  builder.join();
+
+  // The finished builder's ticket no longer matches any slot, so it
+  // must not resurrect or corrupt the cleared map.
+  EXPECT_EQ(cache.size(), 0u);
+  cache.setBuilderForTesting(nullptr);
+  const auto entry = cache.get("ext4", options);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ComponentCache, DisabledCacheBuildsFreshAndPreservesEntries) {
+  ComponentCache cache;
+  const taint::AnalysisOptions options;
+  const auto cached_entry = cache.get("mke2fs", options);
+
+  cache.setEnabled(false);
+  const auto fresh = cache.get("mke2fs", options);
+  EXPECT_NE(cached_entry.get(), fresh.get()) << "disabled cache must parse fresh";
+  EXPECT_EQ(cache.size(), 1u) << "existing entries are kept, not clobbered";
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.setEnabled(true);
+  const auto warm = cache.get("mke2fs", options);
+  EXPECT_EQ(cached_entry.get(), warm.get()) << "re-enabling serves the original entry";
 }
 
 TEST(ComponentCache, ClearDropsEntriesButKeepsOutstandingPointersValid) {

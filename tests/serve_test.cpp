@@ -1,0 +1,190 @@
+// fsdep serve protocol tests: an in-process daemon on a temp socket,
+// driven through both the raw line handler and real socket round trips.
+// Byte-identity against the direct pipeline, memoized warm queries,
+// malformed-request tolerance, and clean shutdown.
+#include "tools/serve.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/pipeline.h"
+#include "extract/scoring.h"
+#include "json/json.h"
+#include "model/serialization.h"
+
+namespace fsdep::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string testSocketPath(const char* name) {
+  return (fs::temp_directory_path() /
+          ("fsdep-serve-test-" + std::string(name) + "-" + std::to_string(::getpid()) +
+           ".sock"))
+      .string();
+}
+
+json::Object parseResponse(const std::string& line) {
+  Result<json::Value> parsed = json::parse(line);
+  EXPECT_TRUE(parsed.ok()) << "response is not JSON: " << line;
+  EXPECT_TRUE(parsed.value().isObject());
+  return parsed.value().asObject();
+}
+
+/// What the one-shot CLI prints for `fsdep extract --scenario <id>`.
+std::string directExtractText(const std::string& scenario_id) {
+  for (const corpus::Scenario& s : corpus::scenarios()) {
+    if (s.id != scenario_id) continue;
+    const std::vector<model::Dependency> deps = corpus::runScenario(s);
+    std::string text;
+    for (const model::Dependency& dep : deps) {
+      text += dep.summary();
+      text.push_back('\n');
+    }
+    text += "\n" + std::to_string(deps.size()) + " dependencies extracted\n";
+    return text;
+  }
+  ADD_FAILURE() << "unknown scenario " << scenario_id;
+  return {};
+}
+
+TEST(ServeProtocol, PingAndUnknownTypeAndMalformedLine) {
+  ServeDaemon daemon(ServeOptions{testSocketPath("proto")});
+
+  json::Object ping = parseResponse(daemon.handleLine(R"({"id":"7","type":"ping"})"));
+  EXPECT_TRUE(ping.find("ok")->asBool());
+  EXPECT_EQ(ping.find("id")->asString(), "7");
+  EXPECT_EQ(ping.find("stdout")->asString(), "pong");
+  EXPECT_TRUE(ping.contains("wall_us"));
+
+  json::Object unknown = parseResponse(daemon.handleLine(R"({"type":"frobnicate"})"));
+  EXPECT_FALSE(unknown.find("ok")->asBool());
+  EXPECT_NE(unknown.find("error")->asString().find("unknown request type"), std::string::npos);
+
+  json::Object missing = parseResponse(daemon.handleLine(R"({"id":"x"})"));
+  EXPECT_FALSE(missing.find("ok")->asBool());
+
+  json::Object garbage = parseResponse(daemon.handleLine("this is not json"));
+  EXPECT_FALSE(garbage.find("ok")->asBool());
+  EXPECT_NE(garbage.find("error")->asString().find("malformed"), std::string::npos);
+
+  json::Object not_object = parseResponse(daemon.handleLine("[1,2,3]"));
+  EXPECT_FALSE(not_object.find("ok")->asBool());
+}
+
+TEST(ServeProtocol, ExtractMatchesDirectPipelineByteForByte) {
+  ServeDaemon daemon(ServeOptions{testSocketPath("extract")});
+  const std::string expected = directExtractText("s1");
+
+  json::Object cold =
+      parseResponse(daemon.handleLine(R"({"type":"extract","scenario":"s1"})"));
+  ASSERT_TRUE(cold.find("ok")->asBool());
+  EXPECT_EQ(cold.find("stdout")->asString(), expected);
+  EXPECT_FALSE(cold.find("cached")->asBool());
+
+  json::Object warm =
+      parseResponse(daemon.handleLine(R"({"type":"extract","scenario":"s1"})"));
+  ASSERT_TRUE(warm.find("ok")->asBool());
+  EXPECT_EQ(warm.find("stdout")->asString(), expected) << "memoized answer must not drift";
+  EXPECT_TRUE(warm.find("cached")->asBool());
+  EXPECT_EQ(daemon.memoHits(), 1u);
+
+  // A different option string is a different memo slot, not a stale hit.
+  json::Object other = parseResponse(
+      daemon.handleLine(R"({"type":"extract","scenario":"s1","no_bridging":true})"));
+  ASSERT_TRUE(other.find("ok")->asBool());
+  EXPECT_FALSE(other.find("cached")->asBool());
+
+  json::Object bad =
+      parseResponse(daemon.handleLine(R"({"type":"extract","scenario":"s9"})"));
+  EXPECT_FALSE(bad.find("ok")->asBool());
+  EXPECT_NE(bad.find("error")->asString().find("unknown scenario"), std::string::npos);
+}
+
+TEST(ServeProtocol, BlameRequiresParamAndListsDependencies) {
+  ServeDaemon daemon(ServeOptions{testSocketPath("blame")});
+
+  json::Object missing = parseResponse(daemon.handleLine(R"({"type":"blame"})"));
+  EXPECT_FALSE(missing.find("ok")->asBool());
+
+  json::Object blame = parseResponse(
+      daemon.handleLine(R"({"type":"blame","param":"mke2fs.sparse_super2"})"));
+  ASSERT_TRUE(blame.find("ok")->asBool());
+  EXPECT_NE(blame.find("stdout")->asString().find("mke2fs.sparse_super2"),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, InvalidateClearsTheMemo) {
+  ServeDaemon daemon(ServeOptions{testSocketPath("invalidate")});
+  ASSERT_TRUE(parseResponse(daemon.handleLine(R"({"type":"docck"})")).find("ok")->asBool());
+  EXPECT_TRUE(
+      parseResponse(daemon.handleLine(R"({"type":"docck"})")).find("cached")->asBool());
+
+  ASSERT_TRUE(
+      parseResponse(daemon.handleLine(R"({"type":"invalidate"})")).find("ok")->asBool());
+  EXPECT_FALSE(
+      parseResponse(daemon.handleLine(R"({"type":"docck"})")).find("cached")->asBool())
+      << "invalidate must clear the response memo";
+}
+
+TEST(ServeSocket, RoundTripAndConcurrentClientsAndShutdown) {
+  const std::string socket_path = testSocketPath("socket");
+  ServeDaemon daemon(ServeOptions{socket_path});
+  const Result<bool> started = daemon.start();
+  ASSERT_TRUE(started.ok()) << started.error().message;
+  ASSERT_TRUE(daemon.running());
+
+  // Typed client round trip.
+  json::Object ping;
+  ping["id"] = "t1";
+  ping["type"] = "ping";
+  const Result<ServeResponse> pong = serveRequest(socket_path, ping);
+  ASSERT_TRUE(pong.ok()) << pong.error().message;
+  EXPECT_TRUE(pong.value().ok);
+  EXPECT_EQ(pong.value().stdout_text, "pong");
+  EXPECT_EQ(pong.value().id, "t1");
+
+  // Raw round trip (malformed request must produce an error response,
+  // not a dropped connection).
+  const Result<std::string> raw = serveRoundTrip(socket_path, "not json at all");
+  ASSERT_TRUE(raw.ok()) << raw.error().message;
+  EXPECT_FALSE(parseResponse(raw.value()).find("ok")->asBool());
+
+  // Concurrent clients: every thread gets a correct, complete response.
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  std::atomic<int> good{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      json::Object request;
+      request["type"] = "ping";
+      const Result<ServeResponse> response = serveRequest(socket_path, request);
+      if (response.ok() && response.value().ok && response.value().stdout_text == "pong") {
+        good.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(good.load(), kClients);
+
+  // Shutdown request unblocks wait(); the socket file disappears.
+  json::Object shutdown;
+  shutdown["type"] = "shutdown";
+  ASSERT_TRUE(serveRequest(socket_path, shutdown).ok());
+  daemon.wait();
+  daemon.stop();
+  EXPECT_FALSE(fs::exists(socket_path));
+
+  // Clients now get a transport error, not a hang.
+  EXPECT_FALSE(serveRoundTrip(socket_path, R"({"type":"ping"})").ok());
+}
+
+}  // namespace
+}  // namespace fsdep::tools
