@@ -11,6 +11,7 @@
 // how the pipeline amortizes frontend cost everywhere else.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,15 @@ taint::AnalysisOptions interLegacy() {
   return topts;
 }
 
+// The AST-walk oracle (--legacy-walk): same passes, same results, but
+// every fixpoint visit re-interprets statement trees instead of running
+// the compiled Taint-IR. The Walk rows measure what the IR bought.
+taint::AnalysisOptions interSummaryWalk() {
+  taint::AnalysisOptions topts = interSummary();
+  topts.compile_ir = false;
+  return topts;
+}
+
 void runTable5Bench(benchmark::State& state, const taint::AnalysisOptions& topts) {
   const corpus::PipelineOptions pipeline{.jobs = 4, .use_cache = true};
   benchmark::DoNotOptimize(corpus::runTable5(topts, nullptr, pipeline));  // warm cache
@@ -56,6 +66,11 @@ void BM_Table5InterLegacySeed(benchmark::State& state) {
   runTable5Bench(state, interLegacy());
 }
 BENCHMARK(BM_Table5InterLegacySeed)->Unit(benchmark::kMillisecond);
+
+void BM_Table5InterSummaryWalkSeed(benchmark::State& state) {
+  runTable5Bench(state, interSummaryWalk());
+}
+BENCHMARK(BM_Table5InterSummaryWalkSeed)->Unit(benchmark::kMillisecond);
 
 /// Analyzes every amplified component (all functions) on the pool and
 /// extracts dependencies over the whole synthetic ecosystem — the
@@ -101,6 +116,11 @@ BENCHMARK(BM_AmplifiedInterLegacy)->Arg(10)->Arg(100)->Unit(benchmark::kMillisec
 void BM_AmplifiedIntra(benchmark::State& state) { runAmplifiedBench(state, {}); }
 BENCHMARK(BM_AmplifiedIntra)->Arg(100)->Unit(benchmark::kMillisecond);
 
+void BM_AmplifiedInterSummaryWalk(benchmark::State& state) {
+  runAmplifiedBench(state, interSummaryWalk());
+}
+BENCHMARK(BM_AmplifiedInterSummaryWalk)->Arg(100)->Unit(benchmark::kMillisecond);
+
 // Pure generation cost (registry rebuild included): the amplifier must
 // never dominate the pipeline it feeds.
 void BM_AmplifyGenerate(benchmark::State& state) {
@@ -117,4 +137,23 @@ BENCHMARK(BM_AmplifyGenerate)->Arg(100)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// The factor-1000 row (6000 generated components) takes minutes per
+// iteration and several GiB of parsed ASTs, so it is opt-in: set
+// FSDEP_BENCH_KERNEL_SCALE=1 to register it. One iteration is enough —
+// the interesting number is the superlinearity against the factor-100
+// row (see EXPERIMENTS.md, "Kernel scale"), not run-to-run noise.
+int main(int argc, char** argv) {
+  if (std::getenv("FSDEP_BENCH_KERNEL_SCALE") != nullptr) {
+    benchmark::RegisterBenchmark(
+        "BM_AmplifiedInterSummary",
+        [](benchmark::State& state) { runAmplifiedBench(state, interSummary()); })
+        ->Arg(1000)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

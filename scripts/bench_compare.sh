@@ -65,10 +65,14 @@ EOF
 # Kernel-scale guard: the SCC-summary inter-procedural engine on the
 # 100x amplified corpus (600 components) against an intra-procedural
 # Table 5 run on the seed corpus, plus the inter-vs-intra overhead on
-# the amplified corpus itself. Emits BENCH_scale.json. The issue's
-# target for the scale ratio is 10x; FSDEP_SCALE_BUDGET (default 60)
-# is the hard regression bound, FSDEP_OVERHEAD_BUDGET (default 2.5)
-# bounds what "fast enough to be the default" may cost over intra.
+# the amplified corpus itself and the Taint-IR vs AST-walk delta.
+# Emits BENCH_scale.json. The issue's target for the scale ratio is
+# 10x; FSDEP_SCALE_BUDGET (default 35, tightened from 60 when the
+# compiled Taint-IR landed) is the hard regression bound,
+# FSDEP_OVERHEAD_BUDGET (default 2.5) bounds what "fast enough to be
+# the default" may cost over intra, and FSDEP_IR_SPEEDUP_FLOOR
+# (default 1.2) is the minimum the compiled engine must keep winning
+# over --legacy-walk on the amplified corpus.
 SCALE_OUT=${4:-"$ROOT/BENCH_scale.json"}
 cmake --build "$BUILD" -j "$(nproc)" --target perf_scale
 
@@ -80,8 +84,9 @@ cmake --build "$BUILD" -j "$(nproc)" --target perf_scale
 
 echo "wrote $SCALE_OUT"
 
-FSDEP_SCALE_BUDGET=${FSDEP_SCALE_BUDGET:-60} \
+FSDEP_SCALE_BUDGET=${FSDEP_SCALE_BUDGET:-35} \
 FSDEP_OVERHEAD_BUDGET=${FSDEP_OVERHEAD_BUDGET:-2.5} \
+FSDEP_IR_SPEEDUP_FLOOR=${FSDEP_IR_SPEEDUP_FLOOR:-1.2} \
 python3 - "$SCALE_OUT" <<'EOF'
 import json, os, sys
 
@@ -92,6 +97,7 @@ seed_intra = means.get("BM_Table5IntraSeed_mean")
 amp_inter = means.get("BM_AmplifiedInterSummary/100_mean")
 amp_intra = means.get("BM_AmplifiedIntra/100_mean")
 amp_legacy = means.get("BM_AmplifiedInterLegacy/100_mean")
+amp_walk = means.get("BM_AmplifiedInterSummaryWalk/100_mean")
 if seed_intra is None or amp_inter is None or amp_intra is None:
     sys.exit("missing BM_Table5IntraSeed/BM_AmplifiedInterSummary/BM_AmplifiedIntra "
              "in the benchmark output")
@@ -103,6 +109,9 @@ print(f"scale: seed-intra Table5 {seed_intra:.2f} ms, "
       f"-> scale ratio {scale_ratio:.1f}x (target 10x)")
 print(f"scale: amplified inter-summary vs intra overhead {overhead:.2f}x"
       + (f", vs legacy global-pass {amp_inter / amp_legacy:.2f}x" if amp_legacy else ""))
+if amp_walk is not None:
+    print(f"scale: Taint-IR vs AST walk on the amplified corpus "
+          f"{amp_walk / amp_inter:.2f}x")
 if scale_ratio > 10.0:
     print(f"scale: NOTE ratio {scale_ratio:.1f}x misses the 10x target "
           "(see EXPERIMENTS.md for the measured-vs-target discussion)")
@@ -114,6 +123,10 @@ overhead_budget = float(os.environ["FSDEP_OVERHEAD_BUDGET"])
 if overhead > overhead_budget:
     sys.exit(f"inter-vs-intra overhead {overhead:.2f}x exceeds the "
              f"{overhead_budget:.1f}x budget")
+ir_floor = float(os.environ["FSDEP_IR_SPEEDUP_FLOOR"])
+if amp_walk is not None and amp_walk / amp_inter < ir_floor:
+    sys.exit(f"Taint-IR speedup {amp_walk / amp_inter:.2f}x fell below the "
+             f"{ir_floor:.1f}x floor — the compiled engine stopped paying for itself")
 EOF
 
 # Campaign engine throughput: a bounded crash x fault x config matrix at

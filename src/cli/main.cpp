@@ -93,13 +93,16 @@ int usage() {
       "                                   when FSDEP_INTER is set)\n"
       "               --legacy-passes     inter via whole-program re-analysis\n"
       "                                   instead of SCC summaries (oracle)\n"
+      "               --legacy-walk       interpret AST statements instead of\n"
+      "                                   compiled Taint-IR (oracle)\n"
       "               --no-bridging       disable metadata bridging (ablation)\n"
       "               --json              emit JSON instead of text\n"
       "  table2     test-suite configuration coverage (paper Table 2)\n"
       "  table3     bug-study distribution (paper Table 3)\n"
       "  table4     dependency taxonomy (paper Table 4)\n"
       "  table5     extraction evaluation (paper Table 5)\n"
-      "               --inter / --intra / --legacy-passes as in extract\n"
+      "               --inter / --intra / --legacy-passes / --legacy-walk\n"
+      "                 as in extract\n"
       "  amplify    generate a synthetic amplified corpus (deterministic,\n"
       "             config-flow shaped) and analyze it end to end\n"
       "               --factor N      synthetic components per real Ext4\n"
@@ -108,6 +111,7 @@ int usage() {
       "               --intra         intra-procedural taint (default: inter\n"
       "                               with SCC summaries)\n"
       "               --legacy-passes inter via whole-program re-analysis\n"
+      "               --legacy-walk   AST-walk oracle (default: Taint-IR)\n"
       "               --budget-ms M   exit 3 when the end-to-end run exceeds\n"
       "                               M milliseconds (CI wall-clock guard)\n"
       "               --json          emit JSON instead of text\n"
@@ -206,6 +210,7 @@ taint::AnalysisOptions taintOptionsFromFlags(const std::vector<std::string>& arg
   if (hasFlag(args, "--inter")) topts.inter_procedural = true;
   if (hasFlag(args, "--intra")) topts.inter_procedural = false;
   if (hasFlag(args, "--legacy-passes")) topts.summaries = false;
+  if (hasFlag(args, "--legacy-walk")) topts.compile_ir = false;
   return topts;
 }
 
@@ -681,6 +686,7 @@ int cmdAmplify(const std::vector<std::string>& args) {
   taint::AnalysisOptions topts;
   topts.inter_procedural = !hasFlag(args, "--intra");
   if (hasFlag(args, "--legacy-passes")) topts.summaries = false;
+  if (hasFlag(args, "--legacy-walk")) topts.compile_ir = false;
 
   using Clock = std::chrono::steady_clock;
   const auto millisSince = [](Clock::time_point from, Clock::time_point to) {
@@ -873,6 +879,7 @@ int cmdQuery(const std::vector<std::string>& args) {
   if (hasFlag(args, "--inter")) request["inter"] = true;
   if (hasFlag(args, "--intra")) request["intra"] = true;
   if (hasFlag(args, "--legacy-passes")) request["legacy_passes"] = true;
+  if (hasFlag(args, "--legacy-walk")) request["legacy_walk"] = true;
   if (hasFlag(args, "--no-bridging")) request["no_bridging"] = true;
   if (hasFlag(args, "--json")) request["json"] = true;
   if (hasFlag(args, "--self-deps")) request["self_deps"] = true;

@@ -51,6 +51,11 @@ struct ComponentEntry {
   std::unique_ptr<ast::TranslationUnit> tu;
   std::unique_ptr<sema::Sema> sema;
   std::vector<taint::Seed> seeds;
+  /// Shared Taint-IR compilation memo over this TU: every analyzer built
+  /// on the entry executes the same compiled streams, so warm runs skip
+  /// CFG construction and lowering. The cache is internally locked; the
+  /// compiled programs themselves are immutable.
+  std::shared_ptr<taint::ir::IrCache> ir_cache = std::make_shared<taint::ir::IrCache>();
   std::uint64_t parse_ns = 0;  ///< wall time of lex+parse+sema
 };
 

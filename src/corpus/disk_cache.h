@@ -42,7 +42,9 @@ namespace fsdep::corpus {
 /// Bump on any change to what a payload contains or how keys are built;
 /// entries written under other schema versions are never read (they live
 /// in a separate subdirectory and age out via LRU of their own tree).
-inline constexpr int kDiskCacheSchemaVersion = 1;
+/// v2: AnalysisOptions::compile_ir joined the key fingerprint (Taint-IR
+/// engine vs legacy AST walk), so v1 trees no longer match any key.
+inline constexpr int kDiskCacheSchemaVersion = 2;
 
 /// Incremental 2x64-bit FNV-1a hasher for cache keys. Two independent
 /// offset bases give a 128-bit identity — enough that distinct requests

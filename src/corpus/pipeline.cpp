@@ -90,6 +90,10 @@ AnalyzedComponent::AnalyzedComponent(std::string name,
         .add(entry_->parse_ns);
   }
   analyzer_ = std::make_unique<taint::Analyzer>(*entry_->tu, *entry_->sema, taint_options);
+  // Share the entry's Taint-IR memo: repeat analyses of a cached
+  // component reuse the compiled instruction streams instead of
+  // re-lowering (and re-building CFGs) per analyzer.
+  analyzer_->setIrCache(entry_->ir_cache);
   for (const taint::Seed& seed : entry_->seeds) {
     analyzer_->addSeed(seed);
   }
@@ -112,6 +116,8 @@ void AnalyzedComponent::analyze(const std::vector<std::string>& function_names) 
   reg().counter("pipeline.merge_calls", by_component).add(analyzer_->mergeCalls());
   reg().counter("pipeline.merge_grew", by_component).add(analyzer_->mergeGrew());
   reg().counter("taint.stmt_visits", by_component).add(analyzer_->stmtVisits());
+  reg().counter("taint.ir_instrs", by_component).add(analyzer_->irInstrs());
+  reg().counter("taint.ir_visits", by_component).add(analyzer_->irVisits());
   reg().gauge("taint.arena_bytes", by_component)
       .set(static_cast<std::uint64_t>(analyzer_->arenaBytes()));
 }

@@ -160,13 +160,28 @@ void Analyzer::run(const std::vector<const FunctionDecl*>& functions) {
   merge_calls_ = 0;
   merge_grew_ = 0;
   stmt_visits_ = 0;
+  ir_instrs_ = 0;
+  ir_visits_ = 0;
+  concrete_skips_ = 0;
 
   for (const FunctionDecl* fn : fns) {
     if (fn == nullptr || !fn->isDefinition()) continue;
     ArenaPtr<FunctionTaint> result(arena_.make<FunctionTaint>());
     result->fn = fn;
-    result->cfg = cfg::Cfg::build(*fn);
-    result->rpo = result->cfg->reversePostOrder();
+    if (options_.compile_ir) {
+      // Compiled once per function and memoized (shared across warm runs
+      // via the component cache): CFG, RPO, and the flat instruction
+      // stream all come from the cache entry.
+      result->code = irCache().getOrCompile(*fn);
+      result->cfg = result->code->cfg;
+      result->rpo = result->code->rpo;
+      if (result->code->program.num_temps > ir_temps_.size()) {
+        ir_temps_.resize(result->code->program.num_temps);
+      }
+    } else {
+      result->cfg = cfg::Cfg::build(*fn);
+      result->rpo = result->cfg->reversePostOrder();
+    }
     by_fn_[fn] = result.get();
     results_.push_back(std::move(result));
   }
@@ -218,11 +233,15 @@ void Analyzer::analyzeFunction(FunctionTaint& result) {
       dirty[id] = 0;
       const cfg::BasicBlock& block = cfg.block(id);
       TaintState state = result.block_entry[id];
-      for (const Stmt* s : block.stmts) transferStmt(*s, state);
-      if (block.inc_expr != nullptr) evalExpr(*block.inc_expr, state, /*effects=*/true);
-      if (block.condition != nullptr) {
-        result.at_condition[id] = state;
-        evalExpr(*block.condition, state, /*effects=*/true);
+      if (result.code != nullptr) {
+        execBlock(result.code->program, id, state, &result.at_condition);
+      } else {
+        for (const Stmt* s : block.stmts) transferStmt(*s, state);
+        if (block.inc_expr != nullptr) evalExpr(*block.inc_expr, state, /*effects=*/true);
+        if (block.condition != nullptr) {
+          result.at_condition[id] = state;
+          evalExpr(*block.condition, state, /*effects=*/true);
+        }
       }
       for (const cfg::Edge& e : block.successors) {
         const bool grew = result.block_entry[e.target].mergeFrom(state);
@@ -250,7 +269,14 @@ void Analyzer::analyzeFunction(FunctionTaint& result) {
     const cfg::BasicBlock& block = cfg.block(id);
     if (!block.is_exit) continue;
     TaintState state = result.block_entry[id];
-    for (const Stmt* s : block.stmts) transferStmt(*s, state);
+    if (result.code != nullptr) {
+      const ir::BlockRange& range = result.code->program.blocks[id];
+      ++ir_visits_;
+      stmt_visits_ += range.stmt_count;
+      execRange(result.code->program, range.stmts_begin, range.stmts_end, state);
+    } else {
+      for (const Stmt* s : block.stmts) transferStmt(*s, state);
+    }
     result.exit_state.mergeFrom(state);
   }
   span.arg("stmts", stmt_visits_ - stmts_before);
@@ -294,8 +320,12 @@ void Analyzer::runSummarized() {
     buildCallGraph();
     sccs = condenseSccs();
     summary_mode_ = true;
+    // The span name distinguishes the engines in profile attribution:
+    // scc_ir when sweeps execute compiled Taint-IR, scc_symbolic for the
+    // legacy AST walk.
+    const char* scc_span_name = options_.compile_ir ? "scc_ir" : "scc_symbolic";
     for (const auto& scc : sccs) {
-      obs::Span scc_span("taint", "scc_symbolic");
+      obs::Span scc_span("taint", scc_span_name);
       scc_span.arg("function", scc.front()->name);
       const bool cyclic = isCyclic(scc);
       int guard = 0;
@@ -386,12 +416,26 @@ void Analyzer::runSummarized() {
   obs::Span apply_span("taint", "summary_apply");
   bindings_changed_ = false;
   for (const auto& result : results_) {
+    // Functions whose entry bindings resolved empty and whose callees
+    // summarize to nothing would replay pass 1 verbatim — their pass-1
+    // states, traces, and events already stand (ROADMAP item 4's second
+    // path; equivalence is test-enforced against the no-skip oracle).
+    if (canSkipFinalPass(result->fn)) {
+      ++concrete_skips_;
+      continue;
+    }
     current_fn_ = result->fn;
     current_result_ = result.get();
     analyzeFunction(*result);
   }
   current_fn_ = nullptr;
   current_result_ = nullptr;
+  if (concrete_skips_ > 0) {
+    static obs::Counter& skip_counter =
+        obs::Registry::global().counter("taint.concrete_skips");
+    skip_counter.add(concrete_skips_);
+  }
+  apply_span.arg("skipped", concrete_skips_);
   if (bindings_changed_) {
     static obs::Counter& residual =
         obs::Registry::global().counter("taint.summary.residual_growth");
@@ -424,9 +468,14 @@ void Analyzer::analyzeFunctionSymbolic(FunctionTaint& result) {
       dirty[id] = 0;
       const cfg::BasicBlock& block = cfg.block(id);
       TaintState state = block_entry[id];
-      for (const Stmt* s : block.stmts) transferStmt(*s, state);
-      if (block.inc_expr != nullptr) evalExpr(*block.inc_expr, state, /*effects=*/true);
-      if (block.condition != nullptr) evalExpr(*block.condition, state, /*effects=*/true);
+      if (result.code != nullptr) {
+        // No at_condition snapshot in symbolic sweeps.
+        execBlock(result.code->program, id, state, nullptr);
+      } else {
+        for (const Stmt* s : block.stmts) transferStmt(*s, state);
+        if (block.inc_expr != nullptr) evalExpr(*block.inc_expr, state, /*effects=*/true);
+        if (block.condition != nullptr) evalExpr(*block.condition, state, /*effects=*/true);
+      }
       for (const cfg::Edge& e : block.successors) {
         const bool grew = block_entry[e.target].mergeFrom(state);
         ++merge_calls_;
@@ -435,6 +484,220 @@ void Analyzer::analyzeFunctionSymbolic(FunctionTaint& result) {
           dirty[e.target] = 1;
           changed = true;
         }
+      }
+    }
+  }
+}
+
+ir::IrCache& Analyzer::irCache() {
+  if (ir_cache_ == nullptr) ir_cache_ = std::make_shared<ir::IrCache>();
+  return *ir_cache_;
+}
+
+bool Analyzer::canSkipFinalPass(const FunctionDecl* fn) const {
+  // Both inputs the final pass adds over pass 1 grow monotonically, so
+  // observing them empty at the fixpoint means they were empty while
+  // pass 1 ran too — the replay could not differ. Emptiness (not key
+  // presence) is the test: operator[] plants empty-set entries.
+  if (const auto bound = entry_bindings_.find(fn); bound != entry_bindings_.end()) {
+    for (const auto& [var, labels] : bound->second.vars) {
+      if (!labels.empty()) return false;
+    }
+  }
+  if (const auto edges = callees_.find(fn); edges != callees_.end()) {
+    for (const FunctionDecl* callee : edges->second) {
+      const auto summary = return_summaries_.find(callee);
+      if (summary != return_summaries_.end() && !summary->second.empty()) return false;
+    }
+  }
+  return true;
+}
+
+void Analyzer::execBlock(const ir::Program& prog, cfg::BlockId id, TaintState& state,
+                         std::vector<TaintState>* at_condition) {
+  const ir::BlockRange& range = prog.blocks[id];
+  ++ir_visits_;
+  stmt_visits_ += range.stmt_count;
+  execRange(prog, range.stmts_begin, range.stmts_end, state);
+  execRange(prog, range.stmts_end, range.inc_end, state);
+  if (range.has_condition) {
+    if (at_condition != nullptr) (*at_condition)[id] = state;
+    execRange(prog, range.inc_end, range.cond_end, state);
+  }
+}
+
+void Analyzer::execRange(const ir::Program& prog, std::uint32_t begin, std::uint32_t end,
+                         TaintState& state) {
+  ir_instrs_ += end - begin;
+  std::vector<LabelSet>& temps = ir_temps_;
+  const LabelSet no_labels;
+  for (std::uint32_t pc = begin; pc < end; ++pc) {
+    const ir::Instr& in = prog.instrs[pc];
+    switch (in.op) {
+      case ir::Op::LoadVar:
+        temps[in.dst] = state.varLabels(in.var);
+        break;
+
+      case ir::Op::LoadField: {
+        // Interning runs even for a discarded read (dst == kNoTemp):
+        // field-key and bridge-label id assignment is first-use ordered
+        // and semantically visible, exactly as in the AST walk.
+        const MemberExpr& m = *in.member;
+        const FieldKeyId key = fieldIdFor(m);
+        if (options_.field_bridging) {
+          const LabelId bridge = bridgeLabelFor(m, key);
+          if (in.dst != ir::kNoTemp) {
+            LabelSet labels = state.fieldLabels(key);
+            labels.insert(bridge);
+            temps[in.dst] = std::move(labels);
+          }
+        } else if (in.dst != ir::kNoTemp) {
+          temps[in.dst] = state.fieldLabels(key);
+        }
+        break;
+      }
+
+      case ir::Op::Copy:
+        temps[in.dst] = temps[in.a];
+        break;
+
+      case ir::Op::UnionInto:
+        unionInto(temps[in.dst], temps[in.a]);
+        break;
+
+      case ir::Op::AssignVar: {
+        const LabelSet* src = in.a == ir::kNoTemp ? nullptr : &temps[in.a];
+        // Out-param stores only happen when the merged other-arg labels
+        // are non-empty (the AST walk never calls assignTo then).
+        if (in.skip_if_empty && (src == nullptr || src->empty())) break;
+        LabelSet merged = src != nullptr ? *src : LabelSet{};
+        if (const auto sticky = sticky_.find(in.var); sticky != sticky_.end()) {
+          unionInto(merged, sticky->second);
+        }
+        if (in.strong) {
+          state.vars[in.var] = merged;
+        } else {
+          unionInto(state.vars[in.var], merged);
+        }
+        if (!merged.empty()) {
+          const std::string& object = varNameFor(*in.var);
+          if (!summary_mode_ && trace_done_.insert(in.site).second) {
+            recordTrace(object, in.loc, traceTextFor(in.site, object, in.rhs, "<call out-param>"));
+          }
+          recordWrite(*in.write_key, object, /*is_field=*/false, "", merged, in.rhs, in.loc,
+                      in.aop);
+        }
+        break;
+      }
+
+      case ir::Op::AssignField: {
+        const LabelSet* src = in.a == ir::kNoTemp ? nullptr : &temps[in.a];
+        // Checked before interning: a skipped out-param store interns
+        // nothing in the AST walk either.
+        if (in.skip_if_empty && (src == nullptr || src->empty())) break;
+        const LabelSet& labels = src != nullptr ? *src : no_labels;
+        const MemberExpr& m = *in.member;
+        const FieldKeyId id = fieldIdFor(m);
+        // Fields are object-insensitive: always a weak update.
+        unionInto(state.fields[id], labels);
+        if (!summary_mode_) unionInto(field_writes_[id], labels);
+        if (!labels.empty()) {
+          const std::string& key = field_keys_.key(id);
+          if (!summary_mode_ && trace_done_.insert(in.site).second) {
+            recordTrace(key, in.loc, traceTextFor(in.site, key, in.rhs, "<expr>"));
+          }
+          recordWrite(*in.write_key, key, /*is_field=*/true, key, labels, in.rhs, in.loc, in.aop);
+        }
+        break;
+      }
+
+      case ir::Op::DeclInit: {
+        LabelSet labels = in.a == ir::kNoTemp ? LabelSet{} : temps[in.a];
+        if (const auto sticky = sticky_.find(in.var); sticky != sticky_.end()) {
+          unionInto(labels, sticky->second);
+        }
+        if (!labels.empty()) {
+          state.vars[in.var] = labels;
+          const std::string& object = varNameFor(*in.var);
+          if (!summary_mode_ && trace_done_.insert(in.site).second) {
+            recordTrace(object, in.loc, traceTextFor(in.site, object, in.rhs, ""));
+          }
+          recordWrite(*in.write_key, object, /*is_field=*/false, "", labels, in.rhs, in.loc,
+                      BinaryOp::Assign);
+        } else {
+          state.vars[in.var].clear();
+        }
+        break;
+      }
+
+      case ir::Op::Call: {
+        const ir::CallSpec& spec = prog.calls[in.aux];
+        const ir::TempId* args = prog.call_args.data() + spec.args_begin;
+        const std::size_t nargs = spec.args_end - spec.args_begin;
+        LabelSet result;
+        for (std::size_t i = 0; i < nargs; ++i) {
+          if (args[i] != ir::kNoTemp) unionInto(result, temps[args[i]]);
+        }
+        const FunctionDecl* callee = spec.callee;
+        if (options_.inter_procedural && callee != nullptr) {
+          if (summary_mode_) {
+            if (by_fn_.find(callee) != by_fn_.end()) {
+              if (spec.effects) {
+                auto& binds = sym_bind_[current_fn_];
+                for (std::size_t i = 0; i < nargs && i < callee->params.size(); ++i) {
+                  if (args[i] != ir::kNoTemp && !temps[args[i]].empty()) {
+                    unionInto(binds[callee->params[i].get()], temps[args[i]]);
+                  }
+                }
+              }
+              if (const auto it = sym_ret_.find(callee); it != sym_ret_.end()) {
+                // instantiateSummary, reading per-arg sets straight from
+                // the temp pool (kNoTemp holes are empty sets).
+                for (const LabelId label : it->second) {
+                  if (label < placeholder_base_) {
+                    result.insert(label);
+                  } else {
+                    const std::size_t idx = label - placeholder_base_;
+                    if (idx < nargs && args[idx] != ir::kNoTemp) {
+                      unionInto(result, temps[args[idx]]);
+                    }
+                  }
+                }
+              }
+            }
+          } else {
+            if (spec.effects) {
+              TaintState& binding = entry_bindings_[callee];
+              for (std::size_t i = 0; i < nargs && i < callee->params.size(); ++i) {
+                if (args[i] != ir::kNoTemp && !temps[args[i]].empty()) {
+                  if (unionInto(binding.vars[callee->params[i].get()], temps[args[i]])) {
+                    bindings_changed_ = true;
+                  }
+                }
+              }
+            }
+            const auto summary = return_summaries_.find(callee);
+            if (summary != return_summaries_.end()) unionInto(result, summary->second);
+          }
+        }
+        temps[in.dst] = std::move(result);
+        break;
+      }
+
+      case ir::Op::Return: {
+        const LabelSet& labels = temps[in.a];
+        if (summary_mode_) {
+          if (summary_return_sink_ != nullptr && unionInto(*summary_return_sink_, labels)) {
+            summary_changed_ = true;
+          }
+        } else if (current_result_ != nullptr) {
+          unionInto(current_result_->return_labels, labels);
+          if (options_.inter_procedural) {
+            LabelSet& summary = return_summaries_[current_fn_];
+            if (unionInto(summary, labels)) bindings_changed_ = true;
+          }
+        }
+        break;
       }
     }
   }

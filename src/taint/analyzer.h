@@ -39,6 +39,7 @@
 #include "ast/ast.h"
 #include "cfg/cfg.h"
 #include "sema/sema.h"
+#include "taint/ir.h"
 #include "taint/state.h"
 
 namespace fsdep::taint {
@@ -52,6 +53,12 @@ struct AnalysisOptions {
   /// default) or the legacy whole-program re-analysis capped at
   /// `max_global_passes` (false; kept as the equivalence-test oracle).
   bool summaries = true;
+  /// Execute transfer functions as compiled Taint-IR: each function's
+  /// CFG blocks are lowered once into a flat instruction stream (see
+  /// taint/ir.h) and every fixpoint visit runs the stream instead of
+  /// re-walking AST statements. The AST walk stays available as the
+  /// byte-equivalence oracle behind --legacy-walk (false).
+  bool compile_ir = true;
   int max_global_passes = 10;
   std::size_t max_trace_steps = 24;
 
@@ -89,7 +96,11 @@ struct WriteEvent {
 /// Analysis results for one function.
 struct FunctionTaint {
   const ast::FunctionDecl* fn = nullptr;
-  std::unique_ptr<cfg::Cfg> cfg;
+  /// Shared with the compiled IR when compile_ir is on (the IR cache
+  /// owns the build); built per run in legacy-walk mode.
+  std::shared_ptr<const cfg::Cfg> cfg;
+  /// Compiled Taint-IR of this function; null in legacy-walk mode.
+  std::shared_ptr<const ir::CompiledFunction> code;
   /// Reverse post-order of `cfg`, computed once per run and shared by
   /// every fixpoint over this function (concrete passes, symbolic
   /// sweeps, exit replay).
@@ -151,7 +162,24 @@ class Analyzer {
 
   /// Statements visited by transferStmt() across every fixpoint sweep of
   /// the run — the AST tree-walk floor the profile attributes time to.
+  /// The IR engine mirrors the same counts (per-block statement totals),
+  /// so both engines report identical visits.
   [[nodiscard]] std::uint64_t stmtVisits() const { return stmt_visits_; }
+
+  /// Taint-IR instrumentation of the last run(): instructions executed
+  /// and block-section program executions. Zero in legacy-walk mode.
+  [[nodiscard]] std::uint64_t irInstrs() const { return ir_instrs_; }
+  [[nodiscard]] std::uint64_t irVisits() const { return ir_visits_; }
+
+  /// Functions whose final concrete pass was skipped because their
+  /// top-down entry bindings resolved empty and no callee summary could
+  /// feed them labels (summary engine only).
+  [[nodiscard]] std::uint64_t concreteSkips() const { return concrete_skips_; }
+
+  /// Shares a compilation memo across analyzers of the same TU (wired
+  /// from the component cache entry). Must be called before run();
+  /// without it the analyzer lazily owns a private cache.
+  void setIrCache(std::shared_ptr<ir::IrCache> cache) { ir_cache_ = std::move(cache); }
 
   /// Bytes the result arena currently holds (per-function taint state).
   [[nodiscard]] std::size_t arenaBytes() const { return arena_.bytesUsed(); }
@@ -176,6 +204,20 @@ class Analyzer {
   /// through.
   [[nodiscard]] LabelSet instantiateSummary(const LabelSet& summary,
                                             const std::vector<LabelSet>& subst) const;
+  /// Executes one instruction range of a compiled function against
+  /// `state` — the IR twin of transferStmt/evalExpr, sharing the same
+  /// recording helpers so all side effects stay byte-identical.
+  void execRange(const ir::Program& prog, std::uint32_t begin, std::uint32_t end,
+                 TaintState& state);
+  /// Runs one block section set: stmts, inc, and (when requested via
+  /// `snapshot`) the at_condition snapshot before the condition range.
+  void execBlock(const ir::Program& prog, cfg::BlockId id, TaintState& state,
+                 std::vector<TaintState>* at_condition);
+  /// True when fn's final concrete pass would replay its first pass
+  /// verbatim: entry bindings resolved empty and every callee summary is
+  /// empty (both grow monotonically, so final-empty means always-empty).
+  [[nodiscard]] bool canSkipFinalPass(const ast::FunctionDecl* fn) const;
+  [[nodiscard]] ir::IrCache& irCache();
   void transferStmt(const ast::Stmt& stmt, TaintState& state);
   LabelSet evalExpr(const ast::Expr& expr, TaintState& state, bool effects);
   void assignTo(const ast::Expr& lhs, const ast::Expr* rhs, const LabelSet& labels, bool strong,
@@ -256,6 +298,14 @@ class Analyzer {
   std::uint64_t merge_calls_ = 0;
   std::uint64_t merge_grew_ = 0;
   std::uint64_t stmt_visits_ = 0;
+  std::uint64_t ir_instrs_ = 0;
+  std::uint64_t ir_visits_ = 0;
+  std::uint64_t concrete_skips_ = 0;
+
+  /// Compilation memo (shared via setIrCache, else lazily private) and
+  /// the temp scratchpad the interpreter reuses across block visits.
+  std::shared_ptr<ir::IrCache> ir_cache_;
+  std::vector<LabelSet> ir_temps_;
 
   std::map<FieldKeyId, LabelSet> field_writes_;
   std::map<std::string, std::vector<TraceStep>> traces_;

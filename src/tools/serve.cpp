@@ -53,6 +53,7 @@ taint::AnalysisOptions taintOptionsFromRequest(const json::Object& request) {
   if (boolField(request, "inter", false)) topts.inter_procedural = true;
   if (boolField(request, "intra", false)) topts.inter_procedural = false;
   if (boolField(request, "legacy_passes", false)) topts.summaries = false;
+  if (boolField(request, "legacy_walk", false)) topts.compile_ir = false;
   return topts;
 }
 
@@ -268,7 +269,7 @@ void ServeDaemon::dispatch(const std::string& type, const json::Value& request_v
   // the warm path is one map lookup — no parse, no pipeline, no disk.
   std::string memo_key = type;
   for (const char* key : {"scenario", "param", "inter", "intra", "legacy_passes",
-                          "no_bridging", "json", "self_deps"}) {
+                          "legacy_walk", "no_bridging", "json", "self_deps"}) {
     const json::Value* value = request.find(key);
     memo_key.push_back('\x1f');
     if (value == nullptr) continue;
